@@ -1,0 +1,154 @@
+"""Ablation — pipeline-level design choices (warm start, dynamic blocks,
+stencil application order).
+
+Quantifies, end-to-end on the scaled Si8 system:
+
+* the cross-omega warm start of subspace iteration (Section III-F),
+* Algorithm 4's dynamic block sizing vs fixed sizes,
+* the Section III-C arithmetic-intensity argument for applying the FD
+  stencil one vector at a time (model + measured numpy counterpart).
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.config import RPAConfig
+from repro.core import compute_rpa_energy
+from repro.grid.stencil import StencilLaplacian, max_block_edge, stencil_arithmetic_intensity
+
+from benchmarks.conftest import write_report
+
+N_EIG = 32
+N_QUAD = 3
+
+
+def test_ablation_warm_start(benchmark, si8_medium):
+    dft, coulomb = si8_medium
+
+    def run_both():
+        out = {}
+        for warm in (True, False):
+            cfg = RPAConfig(n_eig=N_EIG, n_quadrature=N_QUAD, seed=1,
+                            use_warm_start=warm, max_filter_iterations=25)
+            res = compute_rpa_energy(dft, cfg, coulomb=coulomb)
+            out[warm] = res
+        return out
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    warm, cold = results[True], results[False]
+
+    iters_warm = sum(p.filter_iterations for p in warm.points)
+    iters_cold = sum(p.filter_iterations for p in cold.points)
+    np.testing.assert_allclose(warm.energy, cold.energy, atol=5e-3)
+    assert iters_warm < iters_cold, "warm start did not reduce filtering work"
+    skipped = sum(1 for p in warm.points if p.skipped_filtering)
+
+    rows = [
+        ["warm start (paper)", iters_warm, skipped, f"{warm.energy:.6e}",
+         f"{warm.elapsed_seconds:.1f}"],
+        ["cold (random) start", iters_cold,
+         sum(1 for p in cold.points if p.skipped_filtering),
+         f"{cold.energy:.6e}", f"{cold.elapsed_seconds:.1f}"],
+    ]
+    write_report(
+        "ablation_warm_start",
+        format_table(
+            ["variant", "total filter iters", "points skipping filter",
+             "E_RPA (Ha)", "time (s)"],
+            rows,
+            title="Ablation — Section III-F warm start across quadrature points",
+        ),
+    )
+    benchmark.extra_info["filter_iteration_savings"] = iters_cold - iters_warm
+
+
+def test_ablation_block_size_policy(benchmark, si8_medium):
+    dft, coulomb = si8_medium
+
+    def run_policies():
+        out = []
+        for label, kwargs in [
+            ("dynamic (Algorithm 4)", dict(dynamic_block_size=True)),
+            ("fixed s=1", dict(dynamic_block_size=False, fixed_block_size=1)),
+            ("fixed s=4", dict(dynamic_block_size=False, fixed_block_size=4)),
+            ("fixed s=16", dict(dynamic_block_size=False, fixed_block_size=16)),
+        ]:
+            cfg = RPAConfig(n_eig=N_EIG, n_quadrature=N_QUAD, seed=1, **kwargs)
+            t0 = time.perf_counter()
+            res = compute_rpa_energy(dft, cfg, coulomb=coulomb)
+            out.append((label, res, time.perf_counter() - t0))
+        return out
+
+    results = benchmark.pedantic(run_policies, rounds=1, iterations=1)
+
+    energies = [r.energy for (_, r, _) in results]
+    assert np.ptp(energies) < 5e-3, "block-size policy changed the physics"
+    rows = [[label, r.stats.total_iterations, r.stats.n_matvec,
+             dict(sorted(r.stats.block_size_counts.items())), f"{dt:.1f}"]
+            for (label, r, dt) in results]
+    write_report(
+        "ablation_block_size",
+        format_table(
+            ["policy", "COCG iterations", "matvecs", "block-size counts", "time (s)"],
+            rows,
+            title="Ablation — Algorithm 4 vs fixed block sizes (scaled Si8; "
+                  "larger fixed s trades iterations for BLAS-3 work)",
+        ),
+    )
+    dyn = results[0][1]
+    s1 = results[1][1]
+    benchmark.extra_info["dynamic_vs_s1_matvecs"] = dyn.stats.n_matvec / s1.stats.n_matvec
+
+
+def test_ablation_stencil_application_order(benchmark, si8_medium):
+    dft, _ = si8_medium
+    grid = dft.grid
+    sten = StencilLaplacian(grid, radius=3)
+    rng = np.random.default_rng(0)
+    V = rng.standard_normal((grid.n_points, 32))
+
+    def measure():
+        t0 = time.perf_counter()
+        for _ in range(5):
+            a = sten.apply(V)
+        t_fused = (time.perf_counter() - t0) / 5
+        t0 = time.perf_counter()
+        for _ in range(5):
+            b = sten.apply_columnwise(V)
+        t_cols = (time.perf_counter() - t0) / 5
+        assert np.allclose(a, b, atol=1e-11)
+        return t_fused, t_cols
+
+    t_fused, t_cols = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # The paper's cache model: one-vector-at-a-time maximizes the feasible
+    # block edge and hence the arithmetic intensity.
+    cache_words = 32 * 1024  # 256 KiB L2 in doubles
+    r = 3
+    m1 = max_block_edge(cache_words, r, 1)
+    m32 = max_block_edge(cache_words, r, 32)
+    ai1 = stencil_arithmetic_intensity(m1, m1, m1, r, 1)
+    ai32 = stencil_arithmetic_intensity(m32, m32, m32, r, 32)
+    assert ai1 > ai32
+
+    rows = [
+        ["model AI, s=1 (paper's choice)", f"{ai1:.2f} flops/word", f"block edge {m1}"],
+        ["model AI, s=32 resident", f"{ai32:.2f} flops/word", f"block edge {m32}"],
+        ["numpy fused block apply", f"{t_fused * 1e3:.2f} ms", "vectorized rolls"],
+        ["numpy column-wise apply", f"{t_cols * 1e3:.2f} ms", "paper's C ordering"],
+    ]
+    write_report(
+        "ablation_stencil_order",
+        format_table(
+            ["variant", "value", "note"],
+            rows,
+            title="Ablation — Section III-C stencil application order: the "
+                  "cache model favours one-vector-at-a-time (as in the paper's "
+                  "C code); numpy's whole-array rolls invert the trade-off, "
+                  "which is why this port fuses the block",
+        ),
+    )
+    benchmark.extra_info["model_ai_ratio"] = ai1 / ai32
+    benchmark.extra_info["numpy_fused_speedup"] = t_cols / t_fused

@@ -1,0 +1,77 @@
+"""Section IV-A — chemical accuracy of Delta E_RPA (Si8 vs Si7 vacancy).
+
+The paper validates its parameters against ABINIT on the energy difference
+between a perturbed Si8 crystal and the same crystal with a vacancy:
+ABINIT 1.73e-3 Ha/atom, the paper 1.28e-3 Ha/atom (difference 4.5e-4,
+within chemical accuracy). At the coarsened mesh we assert the structural
+content: the pipeline resolves a finite, sane Delta E per atom, and Delta E
+is insensitive to loosening the Sternheimer tolerance to the paper's 1e-2.
+"""
+
+from repro.analysis import format_table
+from repro.config import RPAConfig
+from repro.core import compute_rpa_energy
+from repro.dft import run_scf, scaled_silicon_crystal
+from repro.grid import CoulombOperator
+
+from benchmarks.conftest import write_report
+
+N_EIG_PER_ATOM = 4
+N_QUAD = 6
+
+
+def test_chemical_accuracy_vacancy(benchmark):
+    crystal, grid = scaled_silicon_crystal(1, points_per_edge=9,
+                                           perturbation=0.03, seed=11)
+    vacancy = crystal.with_vacancy(0)
+    dft_bulk = run_scf(crystal, grid, radius=3, tol=1e-6, max_iterations=120)
+    dft_vac = run_scf(vacancy, grid, radius=3, tol=1e-5, max_iterations=150,
+                      smearing=0.02)
+    assert dft_bulk.converged and dft_vac.converged
+    coulomb = CoulombOperator(grid, radius=3)
+
+    def deltas():
+        out = {}
+        for tol in (1e-3, 1e-2):
+            e_b = compute_rpa_energy(
+                dft_bulk,
+                RPAConfig(n_eig=N_EIG_PER_ATOM * 8, n_quadrature=N_QUAD, seed=1, tol_sternheimer=tol),
+                coulomb=coulomb,
+            ).energy_per_atom
+            e_v = compute_rpa_energy(
+                dft_vac,
+                RPAConfig(n_eig=N_EIG_PER_ATOM * 7, n_quadrature=N_QUAD, seed=1, tol_sternheimer=tol),
+                coulomb=coulomb,
+            ).energy_per_atom
+            out[tol] = (e_b, e_v, e_v - e_b)
+        return out
+
+    results = benchmark.pedantic(deltas, rounds=1, iterations=1)
+
+    d_tight = results[1e-3][2]
+    d_loose = results[1e-2][2]
+    # Delta E is finite and of a physically sane magnitude at this mesh.
+    assert abs(d_tight) < 0.1
+    # The paper's Figure-3 logic applied to the observable: the loose
+    # production tolerance does not move Delta E beyond chemical accuracy.
+    assert abs(d_loose - d_tight) < 1.6e-3
+
+    rows = [
+        ["paper (n_d=3375, n_eig=768)", "1.28e-3", "-"],
+        ["ABINIT (E_cut=35 Ha)", "1.73e-3", "-"],
+        [f"ours, tol=1e-3 (n_d={grid.n_points})", f"{d_tight:.4e}", "-"],
+        [f"ours, tol=1e-2 (n_d={grid.n_points})", f"{d_loose:.4e}",
+         f"{abs(d_loose - d_tight):.2e}"],
+    ]
+    write_report(
+        "chemical_accuracy",
+        format_table(
+            ["calculation", "Delta E_RPA (Ha/atom)", "drift vs tight"],
+            rows,
+            title="Section IV-A — vacancy formation Delta E_RPA "
+                  "(absolute values differ at the coarsened mesh; the "
+                  "reproduced claims are finiteness and tolerance-stability)",
+        ),
+    )
+    benchmark.extra_info["delta_e_per_atom"] = float(d_tight)
+    benchmark.extra_info["tolerance_drift"] = float(abs(d_loose - d_tight))

@@ -1,0 +1,72 @@
+"""Figure 4 — strong scaling of the full RPA calculation.
+
+Runs the simulated-MPI driver on the scaled Si8 system across rank counts
+(the paper sweeps 24..768 cores across five systems; we sweep 1..16
+simulated ranks on the scaled system, keeping the paper's n_eig/p >= 4
+constraint). Asserts the figure's qualitative content: simulated walltime
+falls with rank count and parallel efficiency stays high at moderate p,
+degrading as the per-rank column count shrinks.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, parallel_efficiency
+from repro.config import RPAConfig
+from repro.core import compute_rpa_energy
+from repro.parallel import compute_rpa_energy_parallel
+
+from benchmarks.conftest import write_report
+
+RANKS = (1, 2, 4, 8, 12)
+N_EIG = 48  # keeps n_eig / p >= 4 at p = 12, as in the paper's sweeps
+
+
+def test_fig4_strong_scaling(benchmark, si8_medium, scaling_sweep):
+    dft, coulomb = si8_medium
+    ranks, cfg, results = scaling_sweep
+    assert ranks == RANKS
+    # Benchmark one representative mid-sweep run; the sweep itself is the
+    # shared session fixture (also consumed by the Figure 5 bench).
+    benchmark.pedantic(
+        lambda: compute_rpa_energy_parallel(dft, cfg, n_ranks=4, coulomb=coulomb),
+        rounds=1, iterations=1,
+    )
+
+    times = np.array([results[p].simulated_walltime for p in RANKS])
+    eff = parallel_efficiency(np.array(RANKS, dtype=float), times)
+
+    # With Algorithm 4 active, dynamic block chunking depends on the
+    # per-rank column count, so energies agree across rank counts only to
+    # the (loose) Sternheimer solver tolerance; exact p-independence with
+    # fixed block sizes is pinned separately by the test suite.
+    serial_e = compute_rpa_energy(dft, cfg, coulomb=coulomb).energy
+    for p in RANKS:
+        assert abs(results[p].energy - serial_e) < 5e-3
+
+    # Walltime monotone decreasing through at least p = 8.
+    assert times[1] < times[0]
+    assert times[2] < times[1]
+    assert times[3] < times[2]
+    # Good efficiency at moderate p, degrading at the largest p (paper's
+    # load-imbalance observation as n_eig / p shrinks).
+    assert eff[1] > 0.6
+    assert eff[-1] <= eff[1] + 0.05
+
+    rows = []
+    for p, t, e in zip(RANKS, times, eff):
+        r = results[p]
+        rows.append([p, f"{t:.3f}", f"{100 * e:.0f}%", f"{r.comm_seconds * 1e3:.2f}",
+                     f"{r.imbalance_seconds:.3f}", r.block_size_cap])
+    write_report(
+        "fig4_strong_scaling",
+        format_table(
+            ["ranks", "sim walltime (s)", "efficiency", "comm (ms)",
+             "imbalance (s)", "block cap"],
+            rows,
+            title=f"Figure 4 — strong scaling, scaled Si8 "
+                  f"(n_d = {dft.grid.n_points}, n_eig = {N_EIG}); "
+                  f"E_RPA at every p within solver tolerance of {serial_e:.6e} Ha",
+        ),
+    )
+    benchmark.extra_info["efficiency_at_p4"] = float(eff[2])
+    benchmark.extra_info["speedup_at_max_p"] = float(times[0] / times[-1])

@@ -1,0 +1,85 @@
+"""Section IV-C — iterative formulation vs the direct (ABINIT-style) approach.
+
+The paper reports a ~40x time-to-solution advantage over ABINIT's direct
+RPA already at Si8 (n_d = 3375) and, more importantly, a *scaling*
+advantage: the iterative method is O(n_d^3) against the direct O(n_d^4).
+At laptop-scale grids the quartic constant has not yet bitten, so the
+reproduced claim is the crossover trend: the direct/iterative time ratio
+must GROW with system size, which extrapolates to the paper's order-of-
+magnitude win at its n_d.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.config import RPAConfig
+from repro.core import compute_rpa_energy, compute_rpa_energy_direct
+from repro.dft import run_scf, scaled_silicon_crystal
+from repro.grid import CoulombOperator
+
+from benchmarks.conftest import write_report
+
+N_REPS = (1, 2)
+N_EIG_PER_ATOM = 4
+N_QUAD = 3
+
+
+def test_speedup_vs_direct(benchmark):
+    systems = []
+    for n_rep in N_REPS:
+        crystal, grid = scaled_silicon_crystal(n_rep, points_per_edge=8,
+                                               perturbation=0.03, seed=7)
+        dft = run_scf(crystal, grid, radius=2, tol=1e-6, max_iterations=150,
+                      smearing=0.05, eigensolver="dense")
+        assert dft.converged
+        systems.append((crystal, grid, dft))
+
+    def measure():
+        out = []
+        for crystal, grid, dft in systems:
+            coulomb = CoulombOperator(grid, radius=2)
+            n_eig = N_EIG_PER_ATOM * crystal.n_atoms
+            t0 = time.perf_counter()
+            it = compute_rpa_energy(
+                dft, RPAConfig(n_eig=n_eig, n_quadrature=N_QUAD, seed=1),
+                coulomb=coulomb,
+            )
+            t_iter = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            dr = compute_rpa_energy_direct(dft, n_quadrature=N_QUAD,
+                                           coulomb=coulomb, n_eig=n_eig,
+                                           store_spectra=False)
+            t_direct = time.perf_counter() - t0
+            out.append((crystal.label, grid.n_points, it.energy, dr.energy,
+                        t_iter, t_direct))
+        return out
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # Same physics from both routes.
+    for label, _, e_it, e_dir, _, _ in results:
+        assert abs(e_it - e_dir) < 5e-3 * abs(e_dir) + 1e-4, label
+
+    ratios = np.array([t_dir / t_it for (_, _, _, _, t_it, t_dir) in results])
+
+    rows = [[label, nd, f"{e_it:.5e}", f"{t_it:.2f}", f"{t_dir:.2f}",
+             f"{t_dir / t_it:.3f}"]
+            for (label, nd, e_it, e_dir, t_it, t_dir) in results]
+    write_report(
+        "speedup_vs_direct",
+        format_table(
+            ["system", "n_d", "E_RPA (Ha)", "iterative (s)", "direct (s)",
+             "direct/iterative"],
+            rows,
+            title="Section IV-C — iterative vs direct RPA "
+                  "(paper: 40x at n_d = 3375; reproduced: the ratio grows "
+                  "with n_d, i.e. the O(n_d^4) baseline falls behind)",
+        ),
+    )
+    benchmark.extra_info["ratio_growth"] = float(ratios[-1] / ratios[0])
+    # The crossover trend: direct loses ground as n_d grows.
+    assert ratios[-1] > ratios[0], (
+        f"direct/iterative ratio did not grow with system size: {ratios}"
+    )

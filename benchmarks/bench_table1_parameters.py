@@ -1,0 +1,46 @@
+"""Table I — experimental parameters.
+
+Regenerates the parameter table from the library defaults and asserts they
+match the paper verbatim (these defaults drive every other benchmark).
+"""
+
+from repro.analysis import format_table
+from repro.config import PAPER_PARAMS, RPAConfig
+
+from benchmarks.conftest import write_report
+
+
+def test_table1_parameters(benchmark):
+    params = benchmark(lambda: RPAConfig(n_eig=96 * 8))
+
+    assert PAPER_PARAMS.mesh_spacing_bohr == 0.69
+    assert PAPER_PARAMS.n_eig_per_atom == 96
+    assert PAPER_PARAMS.n_quadrature == 8
+    assert PAPER_PARAMS.filter_degree == 2
+    assert PAPER_PARAMS.tol_subspace == (4e-3, 2e-3, 5e-4, 5e-4, 5e-4, 5e-4, 5e-4, 5e-4)
+    assert PAPER_PARAMS.tol_sternheimer == 1e-2
+    assert PAPER_PARAMS.max_filter_iterations == 10
+
+    # The runtime config defaults must agree with Table I.
+    assert params.n_quadrature == PAPER_PARAMS.n_quadrature
+    assert params.filter_degree == PAPER_PARAMS.filter_degree
+    assert params.tol_sternheimer == PAPER_PARAMS.tol_sternheimer
+    assert params.tol_subspace == PAPER_PARAMS.tol_subspace
+    assert params.max_filter_iterations == PAPER_PARAMS.max_filter_iterations
+
+    rows = [
+        ["Mesh spacing", "0.69 Bohr", f"{PAPER_PARAMS.mesh_spacing_bohr} Bohr"],
+        ["n_eig per atom", "96", str(PAPER_PARAMS.n_eig_per_atom)],
+        ["l (quadrature points)", "8", str(PAPER_PARAMS.n_quadrature)],
+        ["deg p (filter degree)", "2", str(PAPER_PARAMS.filter_degree)],
+        ["tau_SI,1", "4e-3", f"{PAPER_PARAMS.tol_subspace[0]:g}"],
+        ["tau_SI,2", "2e-3", f"{PAPER_PARAMS.tol_subspace[1]:g}"],
+        ["tau_SI,3-8", "5e-4", f"{PAPER_PARAMS.tol_subspace[2]:g}"],
+        ["tau_Sternheimer", "1e-2", f"{PAPER_PARAMS.tol_sternheimer:g}"],
+    ]
+    write_report(
+        "table1_parameters",
+        format_table(["parameter", "paper", "library default"], rows,
+                     title="Table I — experimental parameters"),
+    )
+    benchmark.extra_info["match"] = True

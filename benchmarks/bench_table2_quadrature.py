@@ -1,0 +1,45 @@
+"""Table II — Gaussian quadrature points and weights.
+
+Regenerates the 8-point transformed Gauss-Legendre rule and checks it
+against the paper's printed values.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import PAPER_TABLE_II, transformed_gauss_legendre
+
+from benchmarks.conftest import write_report
+
+
+def test_table2_quadrature(benchmark):
+    quad = benchmark(transformed_gauss_legendre, 8)
+
+    rows = []
+    for k in range(8):
+        rows.append([
+            k + 1,
+            f"{quad.points[k]:.4g}",
+            f"{quad.weights[k]:.4g}",
+            PAPER_TABLE_II["points"][k],
+            PAPER_TABLE_II["weights"][k],
+        ])
+        np.testing.assert_allclose(
+            quad.points[k], PAPER_TABLE_II["points"][k], rtol=2e-3, atol=5e-4
+        )
+        np.testing.assert_allclose(
+            quad.weights[k], PAPER_TABLE_II["weights"][k], rtol=2e-3, atol=5e-4
+        )
+
+    write_report(
+        "table2_quadrature",
+        format_table(
+            ["k", "omega_k (ours)", "w_k (ours)", "omega_k (paper)", "w_k (paper)"],
+            rows,
+            title="Table II — Gaussian quadrature points and weights",
+        ),
+    )
+    benchmark.extra_info["max_rel_point_error"] = float(
+        np.max(np.abs(quad.points - np.array(PAPER_TABLE_II["points"]))
+               / np.array(PAPER_TABLE_II["points"]))
+    )

@@ -1,0 +1,55 @@
+"""Table IV — dynamic block size frequencies.
+
+Runs the simulated distributed driver with Algorithm 4 enabled and
+tabulates how often each block size was selected, summed over all
+simulated ranks and Sternheimer solves — the paper's Table IV. The
+qualitative finding asserted: small block sizes dominate at the paper's
+loose Sternheimer tolerance with the Galerkin deflating guess active,
+with larger sizes appearing only occasionally.
+"""
+
+from repro.analysis import format_table
+from repro.config import RPAConfig
+from repro.parallel import compute_rpa_energy_parallel
+
+from benchmarks.conftest import write_report
+
+PAPER_TABLE_IV_SI8 = {1: 2269, 2: 22373, 4: 272, 8: 13, 16: 33}
+
+
+def test_table4_block_size_frequencies(benchmark, si8_medium):
+    dft, coulomb = si8_medium
+    cfg = RPAConfig(n_eig=48, n_quadrature=3, seed=1, dynamic_block_size=True,
+                    max_block_size=16)
+
+    result = benchmark.pedantic(
+        lambda: compute_rpa_energy_parallel(dft, cfg, n_ranks=4, coulomb=coulomb),
+        rounds=1, iterations=1,
+    )
+
+    counts = result.stats.block_size_counts
+    total = sum(counts.values())
+    assert total > 0
+    # Paper's finding: s in {1, 2} dominates under the loose tolerance +
+    # Galerkin guess regime.
+    small_share = (counts.get(1, 0) + counts.get(2, 0)) / total
+    assert small_share > 0.6, f"small blocks are not dominant: {counts}"
+
+    rows = []
+    for s in sorted(set(counts) | set(PAPER_TABLE_IV_SI8)):
+        rows.append([s, counts.get(s, 0),
+                     f"{100 * counts.get(s, 0) / total:.1f}%",
+                     PAPER_TABLE_IV_SI8.get(s, 0)])
+    write_report(
+        "table4_block_sizes",
+        format_table(
+            ["block size", "count (ours)", "share", "count (paper Si8)"],
+            rows,
+            title="Table IV — dynamic block-size selection frequencies "
+                  "(scaled Si8, 4 simulated ranks; absolute counts differ "
+                  "with the scaled workload, the small-block dominance is "
+                  "the reproduced finding)",
+        ),
+    )
+    benchmark.extra_info["small_block_share"] = float(small_share)
+    benchmark.extra_info["counts"] = {str(k): v for k, v in counts.items()}

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""RPA correlation energy of an isolated dimer (Dirichlet boundaries).
+
+The paper's introduction highlights that real-space approaches handle
+Dirichlet boundary conditions natively — molecules, wires and surfaces need
+no artificial periodicity. This example runs the full pipeline on an
+isolated two-atom molecule in a box: real-space potential assembly,
+zero-boundary Coulomb operator (no zero mode), SCF, then both the
+iterative and the direct RPA — plus a bond-length scan of the correlation
+energy.
+
+Run:  python examples/isolated_molecule.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.config import RPAConfig
+from repro.core import compute_rpa_energy, compute_rpa_energy_direct
+from repro.dft import GaussianPseudopotential, run_scf
+from repro.dft.atoms import Crystal
+from repro.grid import CoulombOperator, Grid3D
+
+BOX = 10.0
+PSEUDOS = {"X": GaussianPseudopotential("X", z_ion=1.0, r_core=0.7)}
+
+
+def dimer(bond: float) -> Crystal:
+    half = bond / 2.0
+    return Crystal(
+        ["X", "X"],
+        np.array([[BOX / 2 - half, BOX / 2, BOX / 2],
+                  [BOX / 2 + half, BOX / 2, BOX / 2]]),
+        (BOX, BOX, BOX),
+        label=f"X2(d={bond:.2f})",
+    )
+
+
+def run(bond: float, grid: Grid3D, verbose: bool = False):
+    dft = run_scf(dimer(bond), grid, radius=2, tol=1e-7, max_iterations=80,
+                  gaussian_pseudos=PSEUDOS)
+    coulomb = CoulombOperator(grid, radius=2)
+    cfg = RPAConfig(n_eig=32, n_quadrature=6, seed=1, tol_subspace=5e-3)
+    rpa = compute_rpa_energy(dft, cfg, coulomb=coulomb)
+    if verbose:
+        print(f"  SCF {dft.n_iterations} iters, gap {dft.gap:.3f} Ha; "
+              f"RPA converged={rpa.converged}")
+    return dft, rpa, coulomb
+
+
+def main() -> None:
+    grid = Grid3D((11, 11, 11), (BOX, BOX, BOX), bc="dirichlet")
+    print(f"Isolated dimer in a {BOX:.0f} Bohr box, Dirichlet grid {grid.shape} "
+          f"(no zero mode: the Coulomb operator is strictly positive definite)")
+
+    # -- cross-check against the dense direct baseline ------------------------
+    t0 = time.perf_counter()
+    dft, rpa, coulomb = run(1.6, grid, verbose=True)
+    direct = compute_rpa_energy_direct(dft, n_quadrature=6, coulomb=coulomb, n_eig=32)
+    print(f"bond 1.60 Bohr: E_RPA = {rpa.energy:.6e} Ha (iterative), "
+          f"{direct.energy:.6e} Ha (direct), "
+          f"diff {abs(rpa.energy - direct.energy):.1e} "
+          f"[{time.perf_counter() - t0:.1f} s]")
+
+    # -- bond-length scan ------------------------------------------------------
+    print("\nRPA correlation energy along the bond stretch:")
+    print("bond (Bohr) | E_RPA (Ha)   | gap (Ha)")
+    for bond in (1.2, 1.6, 2.0, 2.6):
+        dft, rpa, _ = run(bond, grid)
+        print(f"{bond:11.2f} | {rpa.energy: .6e} | {dft.gap:.3f}")
+    print("\nThe HOMO-LUMO gap closes as the bond stretches; the small-omega "
+          "Sternheimer systems harden correspondingly (the paper's "
+          "difficulty mechanism), while the correlation energy stays smooth "
+          "across the scan.")
+
+
+if __name__ == "__main__":
+    main()

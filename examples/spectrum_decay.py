@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Figure 1: the spectrum of nu chi0(i omega) decays rapidly to zero.
+
+Computes the exact (dense) spectrum of ``nu chi0`` for a scaled Si8 system
+at every Table II quadrature point and prints an ASCII rendering of the
+decay, verifying the two observations the paper draws from Figure 1:
+
+1. the spectrum decays rapidly to zero at every frequency, and
+2. the low (most negative) end converges to a fixed spectrum as omega -> 0,
+
+which respectively justify the small-n_eig truncation and the warm start.
+
+Run:  python examples/spectrum_decay.py
+"""
+
+import numpy as np
+import scipy.linalg
+
+from repro.core import nu_chi0_eigenvalues_dense, transformed_gauss_legendre
+from repro.dft import run_scf, scaled_silicon_crystal
+from repro.grid import CoulombOperator
+
+N_SHOW = 48
+
+
+def main() -> None:
+    crystal, grid = scaled_silicon_crystal(1, points_per_edge=9,
+                                           perturbation=0.01, seed=11)
+    dft = run_scf(crystal, grid, radius=3, tol=1e-6, max_iterations=80)
+    coulomb = CoulombOperator(grid, radius=3)
+    vals, vecs = scipy.linalg.eigh(dft.hamiltonian.to_dense())
+    quad = transformed_gauss_legendre(8)
+
+    spectra = {}
+    for omega in quad.points:
+        spectra[float(omega)] = nu_chi0_eigenvalues_dense(
+            vals, vecs, dft.n_occupied, float(omega), coulomb, n_eig=N_SHOW
+        )
+
+    print(f"Lowest {N_SHOW} eigenvalues of nu chi0(i omega) for {crystal.label} "
+          f"(n_d = {grid.n_points}):\n")
+    print("eig idx | " + " | ".join(f"w={w:7.3f}" for w in spectra))
+    for i in range(0, N_SHOW, 4):
+        row = " | ".join(f"{spectra[w][i]: .2e}" for w in spectra)
+        print(f"{i:7d} | {row}")
+
+    print("\nObservation 1 — rapid decay (|mu_32| / |mu_0| per omega):")
+    for w, mu in spectra.items():
+        print(f"  omega {w:7.3f}: {abs(mu[32] / mu[0]):.3e}")
+
+    print("\nObservation 2 — spectra converge as omega -> 0 "
+          "(relative change between successive omega):")
+    omegas = sorted(spectra, reverse=True)
+    for a, b in zip(omegas, omegas[1:]):
+        change = np.abs(spectra[a] - spectra[b]).max() / np.abs(spectra[b]).max()
+        print(f"  omega {a:7.3f} -> {b:7.3f}: {change:.3e}")
+
+
+if __name__ == "__main__":
+    main()

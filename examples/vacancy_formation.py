@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Section IV-A: chemical accuracy of Delta E_RPA for a silicon vacancy.
+
+The paper validates its parameter choices by comparing the RPA correlation
+energy difference (per atom) between a perturbed Si8 crystal and the same
+crystal with one atom removed (Si7): ABINIT reports 1.73e-3 Ha/atom, the
+paper's code 1.28e-3 Ha/atom — agreement within chemical accuracy
+(~1.6e-3 Ha). This script repeats the experiment at laptop scale and also
+reports the sensitivity of Delta E to the Sternheimer tolerance.
+
+Run:  python examples/vacancy_formation.py
+"""
+
+import time
+
+from repro.config import RPAConfig
+from repro.core import compute_rpa_energy
+from repro.dft import run_scf, scaled_silicon_crystal
+from repro.grid import CoulombOperator
+
+CHEMICAL_ACCURACY_HA = 1.6e-3
+
+
+def rpa_per_atom(crystal, grid, n_eig_per_atom=6, smearing=None, label=""):
+    t0 = time.perf_counter()
+    dft = run_scf(crystal, grid, radius=3, tol=1e-6, max_iterations=150,
+                  smearing=smearing)
+    if not dft.converged:
+        raise RuntimeError(f"SCF failed to converge for {label}")
+    coulomb = CoulombOperator(grid, radius=3)
+    n_eig = min(n_eig_per_atom * crystal.n_atoms, grid.n_points)
+    rpa = compute_rpa_energy(dft, RPAConfig(n_eig=n_eig, seed=1), coulomb=coulomb)
+    print(f"  {label}: E_RPA = {rpa.energy:.6e} Ha "
+          f"({rpa.energy_per_atom:.6e} Ha/atom), "
+          f"{time.perf_counter() - t0:.1f} s")
+    return rpa
+
+
+def main() -> None:
+    # The paper perturbs all atom positions, which also lifts the vacancy
+    # level degeneracy (essential for a clean SCF fixed point).
+    crystal, grid = scaled_silicon_crystal(1, points_per_edge=9,
+                                           perturbation=0.03, seed=11)
+    vacancy = crystal.with_vacancy(0)
+
+    print("Perturbed Si8 vs Si7 vacancy (laptop-scaled analogue of Section IV-A)")
+    bulk = rpa_per_atom(crystal, grid, label="Si8 (perturbed)")
+    defect = rpa_per_atom(vacancy, grid, smearing=0.02, label="Si7 (vacancy)")
+
+    delta = defect.energy_per_atom - bulk.energy_per_atom
+    print(f"\nDelta E_RPA = {delta:.4e} Ha/atom")
+    print(f"paper (15^3 grid, n_eig = 768): 1.28e-3 Ha/atom; "
+          f"ABINIT: 1.73e-3 Ha/atom")
+    print(f"chemical accuracy threshold:    {CHEMICAL_ACCURACY_HA:.1e} Ha/atom")
+
+    # Sensitivity: the loose tau_Sternheimer = 1e-2 must not move Delta E.
+    print("\nSternheimer-tolerance sensitivity of Delta E (Figure 3's logic):")
+    coulomb = CoulombOperator(grid, radius=3)
+    dft_bulk = run_scf(crystal, grid, radius=3, tol=1e-6, max_iterations=150)
+    dft_vac = run_scf(vacancy, grid, radius=3, tol=1e-5, max_iterations=150,
+                      smearing=0.02)
+    for tol in (1e-3, 1e-2):
+        cfg = RPAConfig(n_eig=6 * 8, seed=1, tol_sternheimer=tol)
+        e_b = compute_rpa_energy(dft_bulk, cfg, coulomb=coulomb).energy_per_atom
+        cfg7 = RPAConfig(n_eig=6 * 7, seed=1, tol_sternheimer=tol)
+        e_v = compute_rpa_energy(dft_vac, cfg7, coulomb=coulomb).energy_per_atom
+        print(f"  tol = {tol:.0e}: Delta E = {e_v - e_b:.4e} Ha/atom")
+
+
+if __name__ == "__main__":
+    main()

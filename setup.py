@@ -1,0 +1,11 @@
+"""Thin setuptools shim so `pip install -e .` works without network access.
+
+The offline environment lacks the `wheel` package, which the PEP 660
+editable-install path requires; declaring the package here lets pip fall
+back to the legacy `setup.py develop` route. All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

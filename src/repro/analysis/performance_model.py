@@ -1,0 +1,129 @@
+"""The paper's analytic cost model for block COCG and the RPA pipeline.
+
+Section III-B decomposes one block COCG iteration into three terms:
+
+1. one operator application to ``s`` vectors — ``s * C_apply`` FLOPs,
+2. five ``O(n_d s^2)`` matrix-matrix products (lines 5, 7, 9, 10, 11),
+3. two ``O(s^3)`` small solves (lines 8, 12),
+
+and Section III-C prices the Hamiltonian application as a ``(6r + 1)``-
+point stencil plus the sparse ``X X^H`` nonlocal term. This module turns
+those formulas into code so measured solver statistics can be converted to
+FLOP totals, predicted times, and arithmetic intensities — the
+"performance considerations" analysis of the paper, reusable on any run's
+:class:`~repro.core.sternheimer.SternheimerStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.sternheimer import SternheimerStats
+from repro.dft.hamiltonian import Hamiltonian
+
+
+@dataclass(frozen=True)
+class ApplyCost:
+    """FLOPs of one Hamiltonian application to a single vector."""
+
+    stencil: float
+    local: float
+    nonlocal_term: float
+    shift: float
+
+    @property
+    def total(self) -> float:
+        return self.stencil + self.local + self.nonlocal_term + self.shift
+
+
+def hamiltonian_apply_cost(h: Hamiltonian) -> ApplyCost:
+    """Per-column FLOP count of the Sternheimer coefficient apply.
+
+    Stencil: ``2 (6r + 1) n_d`` (multiply-add per tap); diagonal potential:
+    ``2 n_d``; nonlocal ``X X^H``: ``4 nnz(X)`` (forward + backward sparse
+    products); complex shift: ``2 n_d``.
+    """
+    n_d = h.n_points
+    r = h.radius
+    nnz = h.nonlocal_part.projectors.nnz if h.nonlocal_part is not None else 0
+    return ApplyCost(
+        stencil=2.0 * (6 * r + 1) * n_d,
+        local=2.0 * n_d,
+        nonlocal_term=4.0 * nnz,
+        shift=2.0 * n_d,
+    )
+
+
+def block_cocg_iteration_flops(n_d: int, s: int, apply_cost_per_column: float) -> float:
+    """FLOPs of one block COCG iteration at block size ``s`` (Section III-B).
+
+    ``s * C_apply + 5 * (2 n_d s^2) + 2 * (2/3 s^3)``
+    """
+    if n_d < 1 or s < 1 or apply_cost_per_column < 0:
+        raise ValueError("invalid arguments")
+    return s * apply_cost_per_column + 10.0 * n_d * s * s + (4.0 / 3.0) * s**3
+
+
+def crossover_block_size(n_d: int, apply_cost_per_column: float) -> float:
+    """Block size where the BLAS-3 term equals the operator term per column.
+
+    Below this ``s`` the apply dominates (blocking is nearly free); above
+    it the ``O(n_d s^2)`` products take over — the balance Algorithm 4
+    searches for empirically.
+    """
+    if n_d < 1 or apply_cost_per_column <= 0:
+        raise ValueError("invalid arguments")
+    return apply_cost_per_column / (10.0 * n_d)
+
+
+@dataclass
+class SolveCostReport:
+    """FLOP accounting of a recorded batch of Sternheimer solves."""
+
+    apply_flops: float
+    blas3_flops: float
+    small_solve_flops: float
+    total_flops: float
+    measured_seconds: float | None = None
+
+    @property
+    def achieved_gflops(self) -> float | None:
+        if not self.measured_seconds:
+            return None
+        return self.total_flops / self.measured_seconds / 1e9
+
+    @property
+    def blas3_fraction(self) -> float:
+        return self.blas3_flops / self.total_flops if self.total_flops else 0.0
+
+
+def cost_report_from_stats(
+    stats: SternheimerStats,
+    h: Hamiltonian,
+    measured_seconds: float | None = None,
+) -> SolveCostReport:
+    """Convert recorded solver statistics into the Section III-B FLOP model.
+
+    The per-iteration BLAS-3 and small-solve terms need the block size of
+    every iteration; the stats record iterations per *block solve* at known
+    sizes, so the report attributes each block solve's iterations to its
+    size bucket (exact when sizes within a bucket are homogeneous, which
+    Algorithm 4's chunking guarantees).
+    """
+    apply_cost = hamiltonian_apply_cost(h).total
+    apply_flops = stats.n_matvec * apply_cost
+    blas3 = 0.0
+    small = 0.0
+    total_counted = sum(stats.block_size_counts.values())
+    if total_counted and stats.n_block_solves:
+        mean_iters = stats.total_iterations / stats.n_block_solves
+        for s, count in stats.block_size_counts.items():
+            blas3 += count * mean_iters * 10.0 * h.n_points * s * s
+            small += count * mean_iters * (4.0 / 3.0) * s**3
+    return SolveCostReport(
+        apply_flops=apply_flops,
+        blas3_flops=blas3,
+        small_solve_flops=small,
+        total_flops=apply_flops + blas3 + small,
+        measured_seconds=measured_seconds,
+    )

@@ -1,0 +1,46 @@
+"""Scaling analysis: complexity fits and parallel-efficiency metrics.
+
+Used by the Figure 4 (strong scaling), Figure 5 (kernel breakdown) and
+Figure 6 (complexity exponent) benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def fit_power_law(sizes, times) -> tuple[float, float]:
+    """Least-squares fit ``time ~ c * size^alpha`` in log-log space.
+
+    Returns ``(alpha, c)``. The paper's Figure 6 reports alpha ~ 2.87-2.95
+    for time versus the number of grid points ``n_d``.
+    """
+    sizes = np.asarray(sizes, dtype=float)
+    times = np.asarray(times, dtype=float)
+    if sizes.shape != times.shape or sizes.ndim != 1 or len(sizes) < 2:
+        raise ValueError("need two 1-D arrays with at least 2 matching samples")
+    if np.any(sizes <= 0) or np.any(times <= 0):
+        raise ValueError("sizes and times must be positive")
+    alpha, log_c = np.polyfit(np.log(sizes), np.log(times), 1)
+    return float(alpha), float(np.exp(log_c))
+
+
+def parallel_efficiency(procs, times) -> np.ndarray:
+    """Strong-scaling efficiency ``t_1 p_1 / (t_p p)`` relative to the
+    smallest processor count measured."""
+    procs = np.asarray(procs, dtype=float)
+    times = np.asarray(times, dtype=float)
+    if procs.shape != times.shape or procs.ndim != 1 or len(procs) < 1:
+        raise ValueError("need matching 1-D arrays")
+    if np.any(procs <= 0) or np.any(times <= 0):
+        raise ValueError("procs and times must be positive")
+    base = procs[0] * times[0]
+    return base / (procs * times)
+
+
+def speedup(times) -> np.ndarray:
+    """Speedup relative to the first (smallest-p) measurement."""
+    times = np.asarray(times, dtype=float)
+    if times.ndim != 1 or len(times) < 1 or np.any(times <= 0):
+        raise ValueError("need a positive 1-D array")
+    return times[0] / times

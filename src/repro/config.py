@@ -1,0 +1,112 @@
+"""Library-wide configuration and the paper's experimental parameters.
+
+``PaperParams`` reproduces Table I of the paper verbatim; ``RPAConfig`` is
+the runtime configuration object consumed by the RPA drivers, defaulting to
+the paper's values but scalable down for laptop-size reproductions (see
+EXPERIMENTS.md for the scaling factors used by each benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PaperParams:
+    """Experimental parameters from Table I of the paper."""
+
+    mesh_spacing_bohr: float = 0.69
+    n_eig_per_atom: int = 96
+    n_quadrature: int = 8
+    filter_degree: int = 2
+    tol_subspace: tuple[float, ...] = (4e-3, 2e-3, 5e-4, 5e-4, 5e-4, 5e-4, 5e-4, 5e-4)
+    tol_sternheimer: float = 1e-2
+    max_filter_iterations: int = 10
+
+    def tol_subspace_for(self, k: int) -> float:
+        """Subspace-iteration tolerance for quadrature point ``k`` (1-based)."""
+        if not 1 <= k <= len(self.tol_subspace):
+            raise ValueError(f"quadrature index {k} out of range 1..{len(self.tol_subspace)}")
+        return self.tol_subspace[k - 1]
+
+
+@dataclass
+class RPAConfig:
+    """Runtime configuration for the RPA correlation-energy calculation.
+
+    Parameters
+    ----------
+    n_eig:
+        Number of eigenvalues of nu^1/2 chi0 nu^1/2 computed per quadrature
+        point (the paper uses 96 per atom).
+    n_quadrature:
+        Number of Gauss-Legendre points on the transformed semi-infinite
+        frequency axis (Table II uses 8).
+    tol_subspace:
+        Per-quadrature-point subspace iteration tolerances (Eq. 7). A single
+        float is broadcast to all points.
+    tol_sternheimer:
+        Relative Frobenius residual tolerance for the block COCG Sternheimer
+        solves (Eq. 10).
+    filter_degree:
+        Chebyshev filter polynomial degree (Table I uses 2).
+    max_filter_iterations:
+        Maximum subspace iterations per quadrature point before declaring
+        non-convergence (paper allows 10).
+    max_cocg_iterations:
+        Iteration cap for the block COCG solver.
+    use_galerkin_guess:
+        Construct the Eq. 13 deflating initial guess for Sternheimer solves.
+    use_warm_start:
+        Reuse converged eigenvectors from omega_k as the initial subspace at
+        omega_{k+1} (Section III-F).
+    dynamic_block_size:
+        Enable Algorithm 4's per-processor dynamic block size selection;
+        when disabled ``fixed_block_size`` is used.
+    """
+
+    n_eig: int
+    n_quadrature: int = 8
+    tol_subspace: float | tuple[float, ...] = (4e-3, 2e-3, 5e-4, 5e-4, 5e-4, 5e-4, 5e-4, 5e-4)
+    tol_sternheimer: float = 1e-2
+    filter_degree: int = 2
+    max_filter_iterations: int = 10
+    max_cocg_iterations: int = 500
+    use_galerkin_guess: bool = True
+    use_warm_start: bool = True
+    dynamic_block_size: bool = True
+    fixed_block_size: int = 1
+    max_block_size: int = 16
+    seed: int | None = None
+    trace_method: str = "eigenvalues"  # "eigenvalues" | "lanczos" | "block_lanczos" | "hutchinson"
+
+    def __post_init__(self) -> None:
+        if self.n_eig <= 0:
+            raise ValueError(f"n_eig must be positive, got {self.n_eig}")
+        if self.n_quadrature <= 0:
+            raise ValueError(f"n_quadrature must be positive, got {self.n_quadrature}")
+        if self.tol_sternheimer <= 0:
+            raise ValueError("tol_sternheimer must be positive")
+        if self.filter_degree < 1:
+            raise ValueError("filter_degree must be >= 1")
+        if self.trace_method not in ("eigenvalues", "lanczos", "block_lanczos", "hutchinson"):
+            raise ValueError(f"unknown trace_method {self.trace_method!r}")
+        if isinstance(self.tol_subspace, (int, float)):
+            self.tol_subspace = (float(self.tol_subspace),) * self.n_quadrature
+        else:
+            self.tol_subspace = tuple(float(t) for t in self.tol_subspace)
+            if len(self.tol_subspace) < self.n_quadrature:
+                # Broadcast the last tolerance over remaining points, mirroring
+                # the paper's tau_SI,3-8 notation.
+                pad = (self.tol_subspace[-1],) * (self.n_quadrature - len(self.tol_subspace))
+                self.tol_subspace = self.tol_subspace + pad
+            self.tol_subspace = self.tol_subspace[: self.n_quadrature]
+
+    def tol_subspace_for(self, k: int) -> float:
+        """Subspace tolerance for quadrature point ``k`` (1-based)."""
+        if not 1 <= k <= self.n_quadrature:
+            raise ValueError(f"quadrature index {k} out of range 1..{self.n_quadrature}")
+        return self.tol_subspace[k - 1]
+
+
+PAPER_PARAMS = PaperParams()

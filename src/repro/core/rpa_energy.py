@@ -1,0 +1,238 @@
+"""The RPA correlation-energy driver — the paper's Algorithm 6.
+
+Sequential sweep over the transformed Gauss-Legendre frequency points
+(largest omega first), running warm-started filtered subspace iteration on
+``nu^{1/2} chi0(i omega_k) nu^{1/2}`` at each point, with all Sternheimer
+systems solved by block COCG + dynamic block sizing. Produces per-point
+energy terms, eigenvalue snapshots, kernel timings and solver statistics —
+everything the paper's output log reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import RPAConfig
+from repro.core.quadrature import FrequencyQuadrature, transformed_gauss_legendre
+from repro.core.sternheimer import Chi0Operator, SternheimerStats
+from repro.core.subspace import SubspaceResult, filtered_subspace_iteration
+from repro.core.trace import (
+    rpa_integrand,
+    stochastic_lanczos_trace,
+    trace_from_eigenvalues,
+)
+from repro.dft.scf import DFTResult
+from repro.grid.coulomb import CoulombOperator
+from repro.utils.rng import default_rng
+from repro.utils.timing import KernelTimers
+
+
+@dataclass
+class OmegaPointResult:
+    """Per-quadrature-point record (one block of the paper's output log)."""
+
+    index: int
+    omega: float
+    weight: float
+    energy_term: float
+    eigenvalues: np.ndarray
+    filter_iterations: int
+    error: float
+    converged: bool
+    elapsed_seconds: float
+    skipped_filtering: bool
+
+    @property
+    def energy_contribution(self) -> float:
+        """Weighted contribution ``w_k E_k / (2 pi)``."""
+        return self.weight * self.energy_term / (2.0 * np.pi)
+
+
+@dataclass
+class RPAEnergyResult:
+    """Complete outcome of an RPA correlation-energy calculation."""
+
+    energy: float
+    energy_per_atom: float
+    points: list[OmegaPointResult]
+    quadrature: FrequencyQuadrature
+    stats: SternheimerStats
+    timers: KernelTimers
+    config: RPAConfig
+    n_atoms: int
+    elapsed_seconds: float = 0.0
+    final_vectors: np.ndarray | None = None
+
+    @property
+    def converged(self) -> bool:
+        return all(p.converged for p in self.points)
+
+    def summary(self) -> str:
+        """Paper-style output block (cf. the artifact's Si8.out)."""
+        lines = ["omega    weight    E_k (Ha)      iters  err        time(s)"]
+        for p in self.points:
+            lines.append(
+                f"{p.omega:8.3f} {p.weight:8.3f} {p.energy_term: .6e} "
+                f"{p.filter_iterations:5d}  {p.error:.3e}  {p.elapsed_seconds:7.2f}"
+            )
+        lines.append(
+            f"Total RPA correlation energy: {self.energy:.5e} (Ha), "
+            f"{self.energy_per_atom:.5e} (Ha/atom)"
+        )
+        return "\n".join(lines)
+
+
+def compute_rpa_energy(
+    dft: DFTResult,
+    config: RPAConfig,
+    coulomb: CoulombOperator | None = None,
+    chi0_operator: Chi0Operator | None = None,
+    initial_vectors: np.ndarray | None = None,
+    keep_vectors: bool = False,
+) -> RPAEnergyResult:
+    """Compute ``E_RPA`` for a converged DFT ground state (Algorithm 6).
+
+    Parameters
+    ----------
+    dft:
+        Converged Kohn-Sham result supplying ``H``, the occupied orbitals
+        and energies.
+    config:
+        RPA runtime configuration (tolerances, filter degree, solver
+        policy); see :class:`repro.config.RPAConfig`.
+    coulomb:
+        Optional pre-built Coulomb operator (reused across calls).
+    chi0_operator:
+        Optional pre-built Sternheimer operator; overrides the solver
+        policy in ``config`` when given.
+    initial_vectors:
+        Optional initial subspace for the first quadrature point (defaults
+        to pointwise random, Algorithm 6 line 4).
+    keep_vectors:
+        Retain the final converged eigenvector block in the result (useful
+        for warm-starting subsequent calls or Fig. 2-style diagnostics).
+    """
+    n_d = dft.grid.n_points
+    if config.n_eig > n_d:
+        raise ValueError(f"n_eig = {config.n_eig} exceeds n_d = {n_d}")
+    if dft.n_occupied < 1:
+        raise ValueError("DFT result has no occupied orbitals")
+
+    start = time.perf_counter()
+    if coulomb is None:
+        coulomb = CoulombOperator(dft.grid, radius=dft.hamiltonian.radius)
+    timers = KernelTimers()
+    if chi0_operator is None:
+        chi0_operator = Chi0Operator(
+            dft.hamiltonian,
+            dft.occupied_orbitals,
+            dft.occupied_energies,
+            coulomb,
+            tol=config.tol_sternheimer,
+            max_iterations=config.max_cocg_iterations,
+            use_galerkin_guess=config.use_galerkin_guess,
+            dynamic_block_size=config.dynamic_block_size,
+            fixed_block_size=config.fixed_block_size,
+            max_block_size=config.max_block_size,
+        )
+
+    quad = transformed_gauss_legendre(config.n_quadrature)
+    rng = default_rng(config.seed)
+    if initial_vectors is not None:
+        V = np.array(initial_vectors, dtype=float, copy=True)
+        if V.shape != (n_d, config.n_eig):
+            raise ValueError(f"initial_vectors shape {V.shape} != ({n_d}, {config.n_eig})")
+    else:
+        V = rng.standard_normal((n_d, config.n_eig))
+
+    energy = 0.0
+    points: list[OmegaPointResult] = []
+    for k in range(1, len(quad) + 1):
+        omega = float(quad.points[k - 1])
+        weight = float(quad.weights[k - 1])
+        t0 = time.perf_counter()
+
+        def apply_op(block: np.ndarray) -> np.ndarray:
+            return chi0_operator.apply_symmetrized(block, omega, timers=timers)
+
+        sub: SubspaceResult = filtered_subspace_iteration(
+            apply_op,
+            V,
+            tol=config.tol_subspace_for(k),
+            degree=config.filter_degree,
+            max_iterations=config.max_filter_iterations,
+            timers=timers,
+        )
+        if config.use_warm_start:
+            V = sub.vectors
+        else:
+            V = rng.standard_normal((n_d, config.n_eig))
+
+        e_k = _energy_term(sub, chi0_operator, omega, config)
+        energy += weight * e_k / (2.0 * np.pi)
+        points.append(
+            OmegaPointResult(
+                index=k,
+                omega=omega,
+                weight=weight,
+                energy_term=e_k,
+                eigenvalues=sub.eigenvalues.copy(),
+                filter_iterations=sub.iterations,
+                error=sub.error,
+                converged=sub.converged,
+                elapsed_seconds=time.perf_counter() - t0,
+                skipped_filtering=sub.iterations == 0,
+            )
+        )
+
+    return RPAEnergyResult(
+        energy=energy,
+        energy_per_atom=energy / dft.crystal.n_atoms,
+        points=points,
+        quadrature=quad,
+        stats=chi0_operator.stats,
+        timers=timers,
+        config=config,
+        n_atoms=dft.crystal.n_atoms,
+        elapsed_seconds=time.perf_counter() - start,
+        final_vectors=V.copy() if keep_vectors else None,
+    )
+
+
+def _energy_term(
+    sub: SubspaceResult, chi0_operator: Chi0Operator, omega: float, config: RPAConfig
+) -> float:
+    """Trace approximation at one quadrature point (Algorithm 6 line 21)."""
+    if config.trace_method == "eigenvalues":
+        return trace_from_eigenvalues(sub.eigenvalues)
+    if config.trace_method == "lanczos":
+        return stochastic_lanczos_trace(
+            lambda v: chi0_operator.apply_symmetrized(v, omega),
+            n=chi0_operator.n_points,
+            n_probes=max(8, config.n_eig // 16),
+            seed=config.seed,
+        )
+    if config.trace_method == "block_lanczos":
+        from repro.core.block_lanczos import block_lanczos_trace
+
+        return block_lanczos_trace(
+            lambda v: chi0_operator.apply_symmetrized(v, omega),
+            n=chi0_operator.n_points,
+            block_size=max(4, config.n_eig // 16),
+            seed=config.seed,
+        )
+    if config.trace_method == "hutchinson":
+        from repro.core.trace import hutchinson_trace
+
+        bound = min(float(sub.eigenvalues[0]) * 1.2, -1e-8)
+        return hutchinson_trace(
+            lambda v: chi0_operator.apply_symmetrized(v, omega),
+            n=chi0_operator.n_points,
+            spectrum_bound=bound,
+            n_probes=max(8, config.n_eig // 16),
+            seed=config.seed,
+        )
+    raise ValueError(f"unknown trace method {config.trace_method!r}")

@@ -1,0 +1,244 @@
+"""Sternheimer applications of chi0 — the paper's Eqs. 4-6 via block COCG.
+
+Each product ``chi0(i omega) V`` for a block of ``n_v`` vectors requires
+solving the ``n_s`` complex symmetric block systems
+
+    (H - lambda_j I + i omega I) Y_j = -(V . Psi_j),   j = 1..n_s
+
+followed by ``chi0 V = 4 Re( sum_j Psi_j . Y_j )``. The solver policy is
+the paper's production stack: block COCG (Algorithm 3) with the Galerkin
+deflating guess (Eq. 13) and per-system dynamic block-size selection
+(Algorithm 4).
+
+``Chi0Operator.apply_symmetrized`` wraps the product with the two
+``nu^{1/2}`` applications of Section III-A, giving the Hermitian operator
+``nu^{1/2} chi0 nu^{1/2}`` whose partial spectrum subspace iteration hunts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dft.hamiltonian import Hamiltonian
+from repro.grid.coulomb import CoulombOperator
+from repro.solvers.block_cocg import block_cocg_solve
+from repro.solvers.block_size import CostFn, flop_cost_model, solve_with_dynamic_block_size
+from repro.solvers.galerkin_guess import galerkin_initial_guess
+from repro.utils.timing import KernelTimers
+
+
+@dataclass
+class SternheimerStats:
+    """Aggregate statistics over Sternheimer solves.
+
+    ``block_size_counts`` maps block size -> number of block solves — the
+    quantity the paper tabulates in Table IV.
+    """
+
+    n_block_solves: int = 0
+    n_systems: int = 0
+    total_iterations: int = 0
+    n_matvec: int = 0
+    n_breakdowns: int = 0
+    n_unconverged: int = 0
+    block_size_counts: dict[int, int] = field(default_factory=dict)
+    iterations_per_orbital: dict[int, int] = field(default_factory=dict)
+
+    def merge(self, other: "SternheimerStats") -> None:
+        self.n_block_solves += other.n_block_solves
+        self.n_systems += other.n_systems
+        self.total_iterations += other.total_iterations
+        self.n_matvec += other.n_matvec
+        self.n_breakdowns += other.n_breakdowns
+        self.n_unconverged += other.n_unconverged
+        for k, v in other.block_size_counts.items():
+            self.block_size_counts[k] = self.block_size_counts.get(k, 0) + v
+        for k, v in other.iterations_per_orbital.items():
+            self.iterations_per_orbital[k] = self.iterations_per_orbital.get(k, 0) + v
+
+
+class Chi0Operator:
+    """Matrix-free ``chi0(i omega)`` via Sternheimer solves.
+
+    Parameters
+    ----------
+    hamiltonian:
+        Converged KS Hamiltonian.
+    psi_occ, eps_occ:
+        Occupied orbitals ``(n_d, n_s)`` (l2-orthonormal, real) and their
+        eigenvalues.
+    coulomb:
+        Coulomb operator for the ``nu^{1/2}`` wrappers.
+    tol:
+        Sternheimer relative residual tolerance (Eq. 10; paper uses 1e-2).
+    max_iterations:
+        COCG iteration cap per block solve.
+    use_galerkin_guess:
+        Build the Eq. 13 initial guess for every solve.
+    dynamic_block_size:
+        Run Algorithm 4 per block system; otherwise use
+        ``fixed_block_size``.
+    max_block_size:
+        Cap for Algorithm 4 (the parallel runtime sets this to
+        ``n_eig / p``, Section III-D).
+    cost_fn:
+        Cost measure for Algorithm 4; ``None`` uses wall-clock time,
+        ``"flops"`` selects the deterministic FLOP model.
+    """
+
+    def __init__(
+        self,
+        hamiltonian: Hamiltonian,
+        psi_occ: np.ndarray,
+        eps_occ: np.ndarray,
+        coulomb: CoulombOperator,
+        tol: float = 1e-2,
+        max_iterations: int = 500,
+        use_galerkin_guess: bool = True,
+        dynamic_block_size: bool = True,
+        fixed_block_size: int = 1,
+        max_block_size: int = 16,
+        cost_fn: CostFn | str | None = "flops",
+        solver=block_cocg_solve,
+    ) -> None:
+        psi_occ = np.asarray(psi_occ, dtype=float)
+        eps_occ = np.asarray(eps_occ, dtype=float)
+        if psi_occ.ndim != 2 or psi_occ.shape[0] != hamiltonian.n_points:
+            raise ValueError(f"psi_occ must be (n_d, n_s), got {psi_occ.shape}")
+        if eps_occ.shape != (psi_occ.shape[1],):
+            raise ValueError("eps_occ must match psi_occ columns")
+        if tol <= 0:
+            raise ValueError("tol must be positive")
+        if fixed_block_size < 1 or max_block_size < 1:
+            raise ValueError("block sizes must be >= 1")
+        self.h = hamiltonian
+        self.psi = psi_occ
+        self.eps = eps_occ
+        self.coulomb = coulomb
+        self.tol = float(tol)
+        self.max_iterations = int(max_iterations)
+        self.use_galerkin_guess = bool(use_galerkin_guess)
+        self.dynamic_block_size = bool(dynamic_block_size)
+        self.fixed_block_size = int(fixed_block_size)
+        self.max_block_size = int(max_block_size)
+        self.solver = solver
+        if cost_fn == "flops":
+            radius = hamiltonian.radius
+            apply_cost = (6.0 * radius + 1.0) * hamiltonian.n_points
+            if hamiltonian.nonlocal_part is not None:
+                apply_cost += 4.0 * hamiltonian.nonlocal_part.projectors.nnz
+            self.cost_fn: CostFn | None = flop_cost_model(apply_cost)
+        else:
+            self.cost_fn = cost_fn
+        self.stats = SternheimerStats()
+
+    @property
+    def n_points(self) -> int:
+        return self.h.n_points
+
+    @property
+    def n_occupied(self) -> int:
+        return self.psi.shape[1]
+
+    # -- core products ---------------------------------------------------------
+
+    def apply_chi0(self, v: np.ndarray, omega: float) -> np.ndarray:
+        """``chi0(i omega) v`` for a real vector or block ``v``."""
+        if omega <= 0:
+            raise ValueError(f"omega must be positive (got {omega}); omega = 0 is singular")
+        squeeze = False
+        V = np.asarray(v, dtype=float)
+        if V.ndim == 1:
+            V = V[:, None]
+            squeeze = True
+        if V.shape[0] != self.n_points:
+            raise ValueError(f"operand rows {V.shape[0]} != n_d {self.n_points}")
+        n_v = V.shape[1]
+        acc = np.zeros((self.n_points, n_v), dtype=complex)
+        for j in range(self.n_occupied):
+            y = self._solve_orbital(j, V, omega)
+            acc += self.psi[:, j : j + 1] * y
+        out = 4.0 * acc.real
+        return out[:, 0] if squeeze else out
+
+    def apply_symmetrized(
+        self, v: np.ndarray, omega: float, timers: KernelTimers | None = None
+    ) -> np.ndarray:
+        """``(nu^{1/2} chi0(i omega) nu^{1/2}) v`` (Algorithm 7)."""
+        w = self.coulomb.apply_nu_sqrt(np.asarray(v, dtype=float))
+        if timers is None:
+            x = self.apply_chi0(w, omega)
+        else:
+            with timers.region("chi0_apply"):
+                x = self.apply_chi0(w, omega)
+        return self.coulomb.apply_nu_sqrt(x)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _solve_orbital(self, j: int, V: np.ndarray, omega: float) -> np.ndarray:
+        lam_j = float(self.eps[j])
+        apply_a = self.h.shifted(lam_j, omega)
+        B = -(V * self.psi[:, j : j + 1])
+        x0 = None
+        if self.use_galerkin_guess:
+            x0 = galerkin_initial_guess(self.psi, self.eps, lam_j, omega, B)
+        n_v = V.shape[1]
+        if self.dynamic_block_size and n_v > 1:
+            res = solve_with_dynamic_block_size(
+                apply_a,
+                B,
+                tol=self.tol,
+                max_iterations=self.max_iterations,
+                x0=x0,
+                max_block_size=min(self.max_block_size, n_v),
+                solver=self.solver,
+                cost_fn=self.cost_fn,
+                n=self.n_points,
+            )
+            self._record_dynamic(j, res)
+            return res.solution
+        # Fixed block size: slice the RHS into chunks.
+        s = min(self.fixed_block_size, n_v)
+        Y = np.empty((self.n_points, n_v), dtype=complex)
+        for start in range(0, n_v, s):
+            sl = slice(start, min(start + s, n_v))
+            guess = x0[:, sl] if x0 is not None else None
+            r = self.solver(
+                apply_a,
+                B[:, sl],
+                x0=guess,
+                tol=self.tol,
+                max_iterations=self.max_iterations,
+                n=self.n_points,
+            )
+            sol = r.solution if r.solution.ndim == 2 else r.solution[:, None]
+            Y[:, sl] = sol
+            self._record_fixed(j, r, sl.stop - sl.start)
+        return Y
+
+    def _record_dynamic(self, j: int, res) -> None:
+        st = self.stats
+        st.n_block_solves += len(res.chunk_results)
+        st.n_systems += res.solution.shape[1]
+        st.total_iterations += res.total_iterations
+        st.n_matvec += res.n_matvec
+        st.n_breakdowns += sum(1 for r in res.chunk_results if r.breakdown)
+        st.n_unconverged += sum(1 for r in res.chunk_results if not r.converged)
+        for k, c in res.block_size_counts.items():
+            st.block_size_counts[k] = st.block_size_counts.get(k, 0) + c
+        st.iterations_per_orbital[j] = (
+            st.iterations_per_orbital.get(j, 0) + res.total_iterations
+        )
+
+    def _record_fixed(self, j: int, r, width: int) -> None:
+        st = self.stats
+        st.n_block_solves += 1
+        st.n_systems += width
+        st.total_iterations += r.iterations
+        st.n_matvec += r.n_matvec
+        st.n_breakdowns += int(r.breakdown)
+        st.n_unconverged += int(not r.converged)
+        st.block_size_counts[width] = st.block_size_counts.get(width, 0) + 1
+        st.iterations_per_orbital[j] = st.iterations_per_orbital.get(j, 0) + r.iterations

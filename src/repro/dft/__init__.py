@@ -1,0 +1,76 @@
+"""Kohn-Sham DFT substrate (the SPARC stand-in).
+
+Real-space LDA DFT: crystals, GTH pseudopotentials (local + sparse
+Kleinman-Bylander nonlocal), Hartree and xc potentials, Anderson-mixed SCF
+and CheFSI/dense eigensolvers. Produces the occupied orbitals, orbital
+energies and the Hamiltonian operator the RPA stage consumes.
+"""
+
+from repro.dft.atoms import (
+    SILICON_LATTICE_BOHR,
+    Crystal,
+    scaled_silicon_crystal,
+    silicon_crystal,
+)
+from repro.dft.density import check_orthonormal, density_from_orbitals, electron_count
+from repro.dft.eigensolvers import (
+    ChebyshevFilteredSubspace,
+    EigenResult,
+    chebyshev_filter,
+    dense_lowest_eigenpairs,
+)
+from repro.dft.hamiltonian import Hamiltonian
+from repro.dft.hartree import hartree_energy, hartree_potential
+from repro.dft.mixing import AndersonMixer, LinearMixer
+from repro.dft.occupations import fermi_dirac_occupations, insulator_occupations
+from repro.dft.pseudopotential import (
+    GTH_LIBRARY,
+    GaussianPseudopotential,
+    GTHParameters,
+    NonlocalProjectors,
+    build_nonlocal_projectors,
+    gaussian_local_potential,
+    gth_local_form_factor,
+    gth_real_space_local_potential,
+    local_potential_on_grid,
+    real_space_local_potential,
+)
+from repro.dft.scf import DFTResult, run_scf
+from repro.dft.xc import lda_exchange, lda_xc, pw92_correlation, xc_energy
+
+__all__ = [
+    "Crystal",
+    "silicon_crystal",
+    "scaled_silicon_crystal",
+    "SILICON_LATTICE_BOHR",
+    "GTHParameters",
+    "GTH_LIBRARY",
+    "GaussianPseudopotential",
+    "NonlocalProjectors",
+    "gth_local_form_factor",
+    "local_potential_on_grid",
+    "gaussian_local_potential",
+    "real_space_local_potential",
+    "gth_real_space_local_potential",
+    "build_nonlocal_projectors",
+    "lda_exchange",
+    "pw92_correlation",
+    "lda_xc",
+    "xc_energy",
+    "hartree_potential",
+    "hartree_energy",
+    "density_from_orbitals",
+    "electron_count",
+    "check_orthonormal",
+    "insulator_occupations",
+    "fermi_dirac_occupations",
+    "LinearMixer",
+    "AndersonMixer",
+    "Hamiltonian",
+    "dense_lowest_eigenpairs",
+    "chebyshev_filter",
+    "ChebyshevFilteredSubspace",
+    "EigenResult",
+    "DFTResult",
+    "run_scf",
+]

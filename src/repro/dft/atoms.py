@@ -1,0 +1,171 @@
+"""Crystal structures: the paper's silicon test systems.
+
+Table III of the paper uses an 8-atom diamond-cubic silicon cell
+(lattice constant 10.26 Bohr, 15^3 grid points at 0.69 Bohr spacing)
+replicated 1..5 times along one dimension, with all atomic positions
+randomly perturbed; the chemical-accuracy study (Section IV-A) compares a
+perturbed Si8 crystal against the same crystal with a vacancy (Si7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grid.mesh import Grid3D
+from repro.utils.rng import default_rng
+
+#: Conventional diamond-cubic lattice constant of silicon (Bohr).
+SILICON_LATTICE_BOHR = 10.26
+
+#: Fractional coordinates of the 8-atom conventional diamond cell.
+_DIAMOND_FRACTIONS = np.array(
+    [
+        [0.00, 0.00, 0.00],
+        [0.00, 0.50, 0.50],
+        [0.50, 0.00, 0.50],
+        [0.50, 0.50, 0.00],
+        [0.25, 0.25, 0.25],
+        [0.25, 0.75, 0.75],
+        [0.75, 0.25, 0.75],
+        [0.75, 0.75, 0.25],
+    ]
+)
+
+
+@dataclass
+class Crystal:
+    """Periodic atomic configuration on an orthogonal cell.
+
+    Attributes
+    ----------
+    species:
+        Chemical symbols, one per atom.
+    positions:
+        Cartesian coordinates in Bohr, shape ``(n_atoms, 3)``.
+    lengths:
+        Cell edge lengths in Bohr.
+    """
+
+    species: list[str]
+    positions: np.ndarray
+    lengths: tuple[float, float, float]
+    label: str = field(default="")
+
+    def __post_init__(self) -> None:
+        self.positions = np.atleast_2d(np.asarray(self.positions, dtype=float))
+        if self.positions.shape != (len(self.species), 3):
+            raise ValueError(
+                f"positions shape {self.positions.shape} != ({len(self.species)}, 3)"
+            )
+        if any(L <= 0 for L in self.lengths):
+            raise ValueError(f"cell lengths must be positive, got {self.lengths}")
+        self.lengths = tuple(float(L) for L in self.lengths)
+        # Wrap into the home cell.
+        self.positions = self.positions % np.asarray(self.lengths)
+
+    @property
+    def n_atoms(self) -> int:
+        return len(self.species)
+
+    def make_grid(self, mesh_spacing: float, bc: str = "periodic") -> Grid3D:
+        """Uniform grid with spacing as close as possible to ``mesh_spacing``.
+
+        Mirrors SPARC's convention: the number of intervals per axis is
+        ``round(L / h)`` (at the paper's 0.69 Bohr this gives 15 points per
+        10.26 Bohr silicon cell edge — Table III).
+        """
+        if mesh_spacing <= 0:
+            raise ValueError(f"mesh_spacing must be positive, got {mesh_spacing}")
+        shape = tuple(max(int(round(L / mesh_spacing)), 2) for L in self.lengths)
+        return Grid3D(shape=shape, lengths=self.lengths, bc=bc)
+
+    def with_vacancy(self, index: int = 0) -> "Crystal":
+        """Remove atom ``index`` (the Section IV-A Si7 vacancy system)."""
+        if not 0 <= index < self.n_atoms:
+            raise ValueError(f"vacancy index {index} out of range 0..{self.n_atoms - 1}")
+        keep = [i for i in range(self.n_atoms) if i != index]
+        return Crystal(
+            species=[self.species[i] for i in keep],
+            positions=self.positions[keep],
+            lengths=self.lengths,
+            label=f"{self.label or 'crystal'}-vac{index}",
+        )
+
+    def perturbed(self, fraction: float, seed: int | None = None) -> "Crystal":
+        """Uniformly perturb every position by up to ``fraction`` of the
+        shortest cell edge per Cartesian component (the paper perturbs all
+        atom positions uniformly as a fraction of the lattice constant)."""
+        if fraction < 0:
+            raise ValueError("perturbation fraction must be non-negative")
+        rng = default_rng(seed)
+        scale = fraction * min(self.lengths)
+        disp = rng.uniform(-scale, scale, size=self.positions.shape)
+        return Crystal(
+            species=list(self.species),
+            positions=self.positions + disp,
+            lengths=self.lengths,
+            label=f"{self.label or 'crystal'}-perturbed",
+        )
+
+
+def silicon_crystal(
+    n_rep: int = 1,
+    lattice: float = SILICON_LATTICE_BOHR,
+    perturbation: float = 0.0,
+    seed: int | None = None,
+) -> Crystal:
+    """The paper's Si_{8 n_rep} systems: a diamond cell replicated along x.
+
+    Parameters
+    ----------
+    n_rep:
+        Number of 8-atom cells stacked along the first axis (1..5 covers
+        Table III's Si8 through Si40).
+    lattice:
+        Conventional lattice constant in Bohr.
+    perturbation:
+        Uniform random displacement amplitude as a fraction of the lattice
+        constant (the paper perturbs all positions).
+    seed:
+        RNG seed for the perturbation.
+    """
+    if n_rep < 1:
+        raise ValueError(f"n_rep must be >= 1, got {n_rep}")
+    base = _DIAMOND_FRACTIONS * lattice
+    cells = [base + np.array([i * lattice, 0.0, 0.0]) for i in range(n_rep)]
+    positions = np.vstack(cells)
+    crystal = Crystal(
+        species=["Si"] * (8 * n_rep),
+        positions=positions,
+        lengths=(n_rep * lattice, lattice, lattice),
+        label=f"Si{8 * n_rep}",
+    )
+    if perturbation > 0.0:
+        crystal = crystal.perturbed(perturbation, seed=seed)
+        crystal.label = f"Si{8 * n_rep}-perturbed"
+    return crystal
+
+
+def scaled_silicon_crystal(
+    n_rep: int = 1,
+    points_per_edge: int = 9,
+    lattice: float = SILICON_LATTICE_BOHR,
+    perturbation: float = 0.0,
+    seed: int | None = None,
+) -> tuple[Crystal, Grid3D]:
+    """Laptop-scale variant of the paper's systems.
+
+    Keeps the physical silicon lattice but coarsens the mesh to
+    ``points_per_edge`` points per cell edge (the paper uses 15 at
+    0.69 Bohr), preserving the diamond geometry, the insulating gap and the
+    (n_d, n_s) proportionality of Table III while reducing n_d per cell
+    from 15^3 to ``points_per_edge^3``. Used by the benchmarks; the
+    full-size systems remain available via :func:`silicon_crystal`.
+    """
+    if points_per_edge < 4:
+        raise ValueError("points_per_edge must be >= 4")
+    crystal = silicon_crystal(n_rep, lattice=lattice, perturbation=perturbation, seed=seed)
+    grid = crystal.make_grid(lattice / points_per_edge)
+    return crystal, grid

@@ -1,0 +1,58 @@
+"""Electron density and normalization conventions.
+
+Orbitals throughout the library are **l2-orthonormal grid vectors**
+(``Psi^T Psi = I``), which makes the paper's linear-algebra formulas hold
+verbatim. The physical density (electrons per Bohr^3) therefore carries an
+explicit ``1/dv``:
+
+    rho(r_i) = (2 / dv) * sum_j g_j |Psi_j(r_i)|^2
+
+with ``g_j = 1`` for doubly-occupied orbitals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.mesh import Grid3D
+
+
+def density_from_orbitals(
+    psi: np.ndarray, grid: Grid3D, occupations: np.ndarray | None = None
+) -> np.ndarray:
+    """Physical electron density from l2-orthonormal orbitals.
+
+    Parameters
+    ----------
+    psi:
+        ``(n_points, n_states)`` orbital block.
+    occupations:
+        Per-orbital pair occupations ``g_j`` in [0, 1]; all ones when
+        omitted (insulator filling).
+    """
+    psi = np.asarray(psi)
+    if psi.ndim != 2 or psi.shape[0] != grid.n_points:
+        raise ValueError(f"psi must be (n_points, n_states), got {psi.shape}")
+    if occupations is None:
+        weights = np.ones(psi.shape[1])
+    else:
+        weights = np.asarray(occupations, dtype=float)
+        if weights.shape != (psi.shape[1],):
+            raise ValueError("occupations must have one entry per orbital")
+        if np.any(weights < 0) or np.any(weights > 1):
+            raise ValueError("pair occupations must lie in [0, 1]")
+    rho = (np.abs(psi) ** 2 @ (2.0 * weights)) / grid.dv
+    return rho
+
+
+def electron_count(rho: np.ndarray, grid: Grid3D) -> float:
+    """Integral of the density — must equal the number of electrons."""
+    return float(grid.dv * np.sum(rho))
+
+
+def check_orthonormal(psi: np.ndarray, atol: float = 1e-8) -> None:
+    """Raise if the orbital block is not l2-orthonormal."""
+    overlap = psi.conj().T @ psi
+    dev = float(np.abs(overlap - np.eye(psi.shape[1])).max())
+    if dev > atol:
+        raise ValueError(f"orbitals are not l2-orthonormal (max deviation {dev:.3e})")

@@ -1,0 +1,25 @@
+"""Hartree potential via fast Poisson solves.
+
+``V_H = nu rho`` with the Coulomb operator's zero-mode projection supplying
+the compensating jellium background on periodic cells (the same convention
+used for the local pseudopotential's G = 0 term, so the two are consistent).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.coulomb import CoulombOperator
+
+
+def hartree_potential(rho: np.ndarray, coulomb: CoulombOperator) -> np.ndarray:
+    """Electrostatic potential of the electron density."""
+    rho = np.asarray(rho, dtype=float)
+    if rho.shape != (coulomb.grid.n_points,):
+        raise ValueError(f"rho shape {rho.shape} != ({coulomb.grid.n_points},)")
+    return coulomb.solve_poisson(rho)
+
+
+def hartree_energy(rho: np.ndarray, v_hartree: np.ndarray, dv: float) -> float:
+    """``E_H = 1/2 int rho V_H dr``."""
+    return float(0.5 * dv * np.sum(rho * v_hartree))

@@ -1,0 +1,86 @@
+"""SCF density mixing: linear and Anderson (Pulay-style) acceleration.
+
+The SCF fixed point ``rho = F(rho)`` is damped with simple linear mixing
+for the first steps and accelerated with Anderson mixing (equivalent to
+Pulay/DIIS on the residual history) thereafter — the standard recipe in
+real-space DFT codes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+
+class LinearMixer:
+    """``rho_next = rho + alpha (F(rho) - rho)``."""
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"mixing alpha must be in (0, 1], got {alpha}")
+        self.alpha = float(alpha)
+
+    def mix(self, rho_in: np.ndarray, rho_out: np.ndarray) -> np.ndarray:
+        return rho_in + self.alpha * (rho_out - rho_in)
+
+    def reset(self) -> None:  # interface parity with AndersonMixer
+        pass
+
+
+class AndersonMixer:
+    """Anderson acceleration with bounded history.
+
+    Minimizes the norm of the linear combination of recent residuals
+    ``f_i = F(rho_i) - rho_i`` and mixes the corresponding inputs/outputs.
+
+    Parameters
+    ----------
+    alpha:
+        Damping applied to the combined residual.
+    history:
+        Number of previous iterates retained.
+    regularization:
+        Tikhonov term for the small least-squares problem.
+    """
+
+    def __init__(self, alpha: float = 0.3, history: int = 5, regularization: float = 1e-10):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"mixing alpha must be in (0, 1], got {alpha}")
+        if history < 1:
+            raise ValueError("history must be >= 1")
+        self.alpha = float(alpha)
+        self.history = int(history)
+        self.regularization = float(regularization)
+        self._inputs: deque[np.ndarray] = deque(maxlen=history)
+        self._residuals: deque[np.ndarray] = deque(maxlen=history)
+
+    def reset(self) -> None:
+        self._inputs.clear()
+        self._residuals.clear()
+
+    def mix(self, rho_in: np.ndarray, rho_out: np.ndarray) -> np.ndarray:
+        residual = rho_out - rho_in
+        self._inputs.append(rho_in.copy())
+        self._residuals.append(residual.copy())
+        m = len(self._residuals)
+        if m == 1:
+            return rho_in + self.alpha * residual
+        F = np.column_stack(self._residuals)  # (n, m)
+        # Solve min || F c || s.t. sum(c) = 1 via the difference formulation.
+        dF = F[:, 1:] - F[:, :-1]
+        gram = dF.T @ dF
+        gram += self.regularization * np.eye(m - 1) * max(np.trace(gram).real, 1.0)
+        rhs = dF.T @ F[:, -1]
+        try:
+            gammas = np.linalg.solve(gram, rhs)
+        except np.linalg.LinAlgError:
+            gammas = np.zeros(m - 1)
+        coeffs = np.zeros(m)
+        coeffs[-1] = 1.0
+        coeffs[1:] -= gammas
+        coeffs[:-1] += gammas
+        X = np.column_stack(self._inputs)
+        rho_bar = X @ coeffs
+        f_bar = F @ coeffs
+        return rho_bar + self.alpha * f_bar

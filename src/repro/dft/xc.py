@@ -1,0 +1,68 @@
+"""Local density approximation exchange-correlation: Slater + PW92.
+
+Spin-unpolarized LDA used by the KS-DFT substrate. Exchange is the Slater
+form; correlation is Perdew-Wang 1992 (the parametrization SPARC and
+ABINIT default to for LDA runs).
+
+All quantities are per unit volume in Hartree atomic units and act
+pointwise on the density array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_RHO_FLOOR = 1e-12
+
+# PW92 parameters for the epsilon_c(rs, zeta=0) channel.
+_PW92_A = 0.031091
+_PW92_ALPHA1 = 0.21370
+_PW92_BETA = (7.5957, 3.5876, 1.6382, 0.49294)
+
+
+def lda_exchange(rho: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Slater exchange energy density and potential.
+
+    Returns ``(eps_x, v_x)`` with ``eps_x`` the exchange energy *per
+    electron* and ``v_x = d(rho eps_x)/d rho = (4/3) eps_x``.
+    """
+    rho = np.maximum(np.asarray(rho, dtype=float), _RHO_FLOOR)
+    cx = -(3.0 / 4.0) * (3.0 / np.pi) ** (1.0 / 3.0)
+    eps = cx * rho ** (1.0 / 3.0)
+    return eps, (4.0 / 3.0) * eps
+
+
+def pw92_correlation(rho: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """PW92 correlation energy per electron and potential (zeta = 0).
+
+    Returns ``(eps_c, v_c)`` with
+    ``v_c = eps_c - (rs/3) d eps_c/d rs``.
+    """
+    rho = np.maximum(np.asarray(rho, dtype=float), _RHO_FLOOR)
+    rs = (3.0 / (4.0 * np.pi * rho)) ** (1.0 / 3.0)
+    sqrt_rs = np.sqrt(rs)
+    b1, b2, b3, b4 = _PW92_BETA
+    q0 = -2.0 * _PW92_A * (1.0 + _PW92_ALPHA1 * rs)
+    q1 = 2.0 * _PW92_A * (b1 * sqrt_rs + b2 * rs + b3 * rs * sqrt_rs + b4 * rs * rs)
+    log_arg = 1.0 + 1.0 / q1
+    eps = q0 * np.log(log_arg)
+    # d eps / d rs
+    dq0 = -2.0 * _PW92_A * _PW92_ALPHA1
+    dq1 = _PW92_A * (b1 / sqrt_rs + 2.0 * b2 + 3.0 * b3 * sqrt_rs + 4.0 * b4 * rs)
+    deps = dq0 * np.log(log_arg) - q0 * dq1 / (q1 * q1 + q1)
+    v = eps - (rs / 3.0) * deps
+    return eps, v
+
+
+def lda_xc(rho: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Total LDA exchange-correlation: ``(eps_xc, v_xc)`` per electron."""
+    ex, vx = lda_exchange(rho)
+    ec, vc = pw92_correlation(rho)
+    return ex + ec, vx + vc
+
+
+def xc_energy(rho: np.ndarray, dv: float) -> float:
+    """Integrated exchange-correlation energy ``int rho eps_xc dr``."""
+    eps, _ = lda_xc(rho)
+    rho = np.maximum(np.asarray(rho, dtype=float), 0.0)
+    return float(dv * np.sum(rho * eps))

@@ -1,0 +1,92 @@
+"""Central finite-difference coefficients for the second derivative.
+
+The paper discretizes the Laplacian with a six-axis ``(6r + 1)``-point
+stencil of radius ``r`` (order ``2r`` accurate per axis). The closed form of
+the 1-D weights is classical (see e.g. Fornberg 1988):
+
+    c_0 = -2 * sum_{m=1}^{r} 1/m^2
+    c_m = 2 * (-1)^{m+1} * (r!)^2 / (m^2 * (r-m)! * (r+m)!),  m = 1..r
+
+so that  f''(x) ~ (1/h^2) * sum_{m=-r}^{r} c_{|m|} f(x + m h).
+
+``fornberg_weights`` provides an independent general-order construction used
+by the test suite to cross-check the closed form.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from math import factorial
+
+import numpy as np
+
+
+@lru_cache(maxsize=None)
+def second_derivative_coefficients(radius: int) -> np.ndarray:
+    """Closed-form central FD weights for f'' with stencil radius ``radius``.
+
+    Returns
+    -------
+    ndarray of shape ``(radius + 1,)``: ``c_0, c_1, ..., c_r`` (weights for
+    offsets ``0, +-1, ..., +-r``), to be scaled by ``1/h^2``.
+    """
+    r = int(radius)
+    if r < 1:
+        raise ValueError(f"stencil radius must be >= 1, got {radius}")
+    coeffs = np.empty(r + 1)
+    coeffs[0] = -2.0 * sum(1.0 / m**2 for m in range(1, r + 1))
+    rf2 = float(factorial(r)) ** 2
+    for m in range(1, r + 1):
+        coeffs[m] = 2.0 * (-1.0) ** (m + 1) * rf2 / (m**2 * factorial(r - m) * factorial(r + m))
+    return coeffs
+
+
+def fornberg_weights(x0: float, x: np.ndarray, order: int) -> np.ndarray:
+    """Fornberg's algorithm: weights of derivative ``order`` at ``x0``.
+
+    Parameters
+    ----------
+    x0:
+        Evaluation point.
+    x:
+        Grid node locations (distinct).
+    order:
+        Derivative order ``m >= 0``.
+
+    Returns
+    -------
+    ndarray of shape ``(len(x),)`` with the weights ``w_j`` such that
+    ``f^(m)(x0) ~ sum_j w_j f(x_j)``.
+
+    Notes
+    -----
+    Direct transcription of B. Fornberg, *Generation of finite difference
+    formulas on arbitrarily spaced grids*, Math. Comp. 51 (1988).
+    """
+    x = np.asarray(x, dtype=float)
+    n = len(x)
+    if order < 0:
+        raise ValueError("derivative order must be non-negative")
+    if n <= order:
+        raise ValueError(f"need more than {order} nodes for derivative order {order}")
+    c = np.zeros((n, order + 1))
+    c1 = 1.0
+    c4 = x[0] - x0
+    c[0, 0] = 1.0
+    for i in range(1, n):
+        mn = min(i, order)
+        c2 = 1.0
+        c5 = c4
+        c4 = x[i] - x0
+        for j in range(i):
+            c3 = x[i] - x[j]
+            c2 *= c3
+            if j == i - 1:
+                for k in range(mn, 0, -1):
+                    c[i, k] = c1 * (k * c[i - 1, k - 1] - c5 * c[i - 1, k]) / c2
+                c[i, 0] = -c1 * c5 * c[i - 1, 0] / c2
+            for k in range(mn, 0, -1):
+                c[j, k] = (c4 * c[j, k] - k * c[j, k - 1]) / c3
+            c[j, 0] = c4 * c[j, 0] / c3
+        c1 = c2
+    return c[:, order]

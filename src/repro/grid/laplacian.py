@@ -1,0 +1,62 @@
+"""Sparse assembly of the finite-difference Laplacian.
+
+Used by small-grid reference paths (dense baselines, tests) and by the
+Dirichlet Kronecker eigendecomposition. The matrix-free applications in
+``repro.grid.stencil`` / ``repro.grid.fourier`` are the production paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.grid.fd_coefficients import second_derivative_coefficients
+from repro.grid.mesh import Grid3D
+
+
+def laplacian_1d(n: int, h: float, radius: int, bc: str) -> sp.csr_matrix:
+    """1-D second-derivative matrix of stencil radius ``radius``.
+
+    Periodic matrices are circulant; Dirichlet matrices are the banded
+    Toeplitz truncation (function extended by zero outside the domain).
+    """
+    if n < 2:
+        raise ValueError(f"need at least 2 points, got {n}")
+    if bc not in ("periodic", "dirichlet"):
+        raise ValueError(f"unknown bc {bc!r}")
+    if bc == "periodic" and 2 * radius >= n:
+        raise ValueError(f"stencil radius {radius} too large for {n} periodic points")
+    c = second_derivative_coefficients(radius) / h**2
+    diags: list[np.ndarray] = [np.full(n, c[0])]
+    offsets: list[int] = [0]
+    for m in range(1, radius + 1):
+        if m < n:
+            diags.extend([np.full(n - m, c[m]), np.full(n - m, c[m])])
+            offsets.extend([m, -m])
+        if bc == "periodic":
+            # Wrap-around couplings for the circulant structure.
+            diags.extend([np.full(m, c[m]), np.full(m, c[m])])
+            offsets.extend([n - m, -(n - m)])
+    return sp.diags_array(diags, offsets=offsets, shape=(n, n)).tocsr()
+
+
+def assemble_laplacian(grid: Grid3D, radius: int) -> sp.csr_matrix:
+    """3-D Laplacian ``Lx (x) I (x) I + I (x) Ly (x) I + I (x) I (x) Lz``.
+
+    Row/column ordering matches :meth:`Grid3D.to_vector` (C order over
+    ``(nx, ny, nz)``).
+    """
+    nx, ny, nz = grid.shape
+    hx, hy, hz = grid.spacing
+    Lx = laplacian_1d(nx, hx, radius, grid.bc)
+    Ly = laplacian_1d(ny, hy, radius, grid.bc)
+    Lz = laplacian_1d(nz, hz, radius, grid.bc)
+    Ix = sp.identity(nx, format="csr")
+    Iy = sp.identity(ny, format="csr")
+    Iz = sp.identity(nz, format="csr")
+    lap = (
+        sp.kron(sp.kron(Lx, Iy), Iz)
+        + sp.kron(sp.kron(Ix, Ly), Iz)
+        + sp.kron(sp.kron(Ix, Iy), Lz)
+    )
+    return lap.tocsr()

@@ -1,0 +1,150 @@
+"""Real-space uniform grids on orthogonal cells.
+
+The paper discretizes an orthogonal simulation cell with a uniform
+finite-difference mesh (spacing 0.69 Bohr, Table I). ``Grid3D`` carries the
+mesh geometry, boundary condition, and the flatten/reshape conventions used
+by every operator in the library.
+
+Conventions
+-----------
+* Grid functions are stored as flat vectors of length ``n_points`` in C
+  (row-major) order over ``(nx, ny, nz)``; blocks of vectors are
+  ``(n_points, s)`` arrays.
+* Vectors are plain l2 objects: inner products carry no ``dv`` weight.
+  Physical normalization (e.g. electron density) multiplies by ``dv``
+  explicitly where needed (see ``repro.dft.density``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+_VALID_BCS = ("periodic", "dirichlet")
+
+
+@dataclass(frozen=True)
+class Grid3D:
+    """Uniform finite-difference grid on an orthogonal cell.
+
+    Parameters
+    ----------
+    shape:
+        Number of grid points per axis ``(nx, ny, nz)``.
+    lengths:
+        Cell edge lengths in Bohr ``(Lx, Ly, Lz)``.
+    bc:
+        ``"periodic"`` (bulk crystals; the paper's setting) or
+        ``"dirichlet"`` (isolated molecules, wires, surfaces).
+
+    Notes
+    -----
+    For periodic boundary conditions point ``i`` sits at ``i * h`` with
+    ``h = L / n`` (the point at ``L`` is identified with the origin). For
+    Dirichlet conditions interior points sit at ``(i + 1) * h`` with
+    ``h = L / (n + 1)`` and the function vanishes on the boundary.
+    """
+
+    shape: tuple[int, int, int]
+    lengths: tuple[float, float, float]
+    bc: str = "periodic"
+
+    def __post_init__(self) -> None:
+        if len(self.shape) != 3 or any(int(n) < 2 for n in self.shape):
+            raise ValueError(f"shape must be three axes of >= 2 points, got {self.shape}")
+        if len(self.lengths) != 3 or any(float(L) <= 0 for L in self.lengths):
+            raise ValueError(f"lengths must be three positive extents, got {self.lengths}")
+        if self.bc not in _VALID_BCS:
+            raise ValueError(f"bc must be one of {_VALID_BCS}, got {self.bc!r}")
+        object.__setattr__(self, "shape", tuple(int(n) for n in self.shape))
+        object.__setattr__(self, "lengths", tuple(float(L) for L in self.lengths))
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def n_points(self) -> int:
+        """Total number of grid points ``n_d``."""
+        nx, ny, nz = self.shape
+        return nx * ny * nz
+
+    @cached_property
+    def spacing(self) -> tuple[float, float, float]:
+        """Mesh spacing per axis."""
+        if self.bc == "periodic":
+            return tuple(L / n for L, n in zip(self.lengths, self.shape))
+        return tuple(L / (n + 1) for L, n in zip(self.lengths, self.shape))
+
+    @property
+    def dv(self) -> float:
+        """Volume element (Bohr^3) associated with one grid point."""
+        hx, hy, hz = self.spacing
+        return hx * hy * hz
+
+    @property
+    def volume(self) -> float:
+        Lx, Ly, Lz = self.lengths
+        return Lx * Ly * Lz
+
+    def axis_coords(self, axis: int) -> np.ndarray:
+        """Physical coordinates of grid points along ``axis``."""
+        n = self.shape[axis]
+        h = self.spacing[axis]
+        if self.bc == "periodic":
+            return h * np.arange(n)
+        return h * (np.arange(n) + 1)
+
+    @cached_property
+    def points(self) -> np.ndarray:
+        """``(n_points, 3)`` array of grid-point coordinates, C order."""
+        xs = self.axis_coords(0)
+        ys = self.axis_coords(1)
+        zs = self.axis_coords(2)
+        X, Y, Z = np.meshgrid(xs, ys, zs, indexing="ij")
+        return np.column_stack([X.ravel(), Y.ravel(), Z.ravel()])
+
+    # -- flatten / reshape ---------------------------------------------------
+
+    def to_field(self, v: np.ndarray) -> np.ndarray:
+        """Reshape flat vector(s) to the 3-D field layout.
+
+        ``(n_points,) -> (nx, ny, nz)`` and ``(n_points, s) -> (nx, ny, nz, s)``.
+        """
+        if v.shape[0] != self.n_points:
+            raise ValueError(f"leading dimension {v.shape[0]} != n_points {self.n_points}")
+        if v.ndim == 1:
+            return v.reshape(self.shape)
+        if v.ndim == 2:
+            return v.reshape(self.shape + (v.shape[1],))
+        raise ValueError(f"expected 1-D or 2-D input, got ndim={v.ndim}")
+
+    def to_vector(self, f: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`to_field`."""
+        if f.shape[:3] != self.shape:
+            raise ValueError(f"field shape {f.shape[:3]} != grid shape {self.shape}")
+        if f.ndim == 3:
+            return f.reshape(self.n_points)
+        if f.ndim == 4:
+            return f.reshape(self.n_points, f.shape[3])
+        raise ValueError(f"expected 3-D or 4-D field, got ndim={f.ndim}")
+
+    # -- reciprocal space (periodic only) -------------------------------------
+
+    def wavevectors(self, axis: int) -> np.ndarray:
+        """Angular wavenumbers ``2*pi*k/L`` for the FFT modes along ``axis``."""
+        if self.bc != "periodic":
+            raise ValueError("wavevectors are defined for periodic grids only")
+        n = self.shape[axis]
+        L = self.lengths[axis]
+        return 2.0 * np.pi * np.fft.fftfreq(n, d=L / n)
+
+    def integrate(self, f: np.ndarray) -> float | np.ndarray:
+        """Trapezoidal/midpoint integral of grid function(s): ``dv * sum``."""
+        return self.dv * f.sum(axis=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Grid3D(shape={self.shape}, lengths=({self.lengths[0]:.4g}, "
+            f"{self.lengths[1]:.4g}, {self.lengths[2]:.4g}), bc={self.bc!r})"
+        )

@@ -1,0 +1,12 @@
+"""Artifact-compatible I/O: the .rpa input format and .out log format."""
+
+from repro.io.input_file import dump_rpa_config, load_rpa_config, parse_rpa_input
+from repro.io.output_file import estimate_memory_mb, format_output_log
+
+__all__ = [
+    "parse_rpa_input",
+    "load_rpa_config",
+    "dump_rpa_config",
+    "format_output_log",
+    "estimate_memory_mb",
+]

@@ -1,0 +1,61 @@
+"""Simulated-MPI runtime and real threaded backend.
+
+Reproduces the paper's parallelization structure (Section III-D) without an
+MPI installation: per-rank work is executed for real and timed on virtual
+clocks; communication and ScaLAPACK kernels are charged from calibrated
+cost models. Figures 4-6 regenerate from these simulated walltimes.
+"""
+
+from repro.parallel.costmodel import (
+    PACE_PHOENIX,
+    MachineProfile,
+    allgather_time,
+    allreduce_time,
+    eigensolve_parallel_time,
+    matmult_parallel_time,
+    p2p_time,
+    redistribution_time,
+)
+from repro.parallel.distribution import (
+    BlockColumnDistribution,
+    block_cyclic_redistribution_bytes,
+)
+from repro.parallel.executor import ThreadedChi0Operator
+from repro.parallel.process_executor import ProcessChi0Operator
+from repro.parallel.manager_worker import (
+    Chi0WorkloadProfiler,
+    ScheduleComparison,
+    WorkItem,
+    list_schedule_makespan,
+    static_block_column_makespan,
+)
+from repro.parallel.rpa_parallel import (
+    ParallelPointRecord,
+    ParallelRPAResult,
+    compute_rpa_energy_parallel,
+)
+from repro.parallel.virtual_clock import VirtualClocks
+
+__all__ = [
+    "MachineProfile",
+    "PACE_PHOENIX",
+    "p2p_time",
+    "allreduce_time",
+    "allgather_time",
+    "redistribution_time",
+    "matmult_parallel_time",
+    "eigensolve_parallel_time",
+    "VirtualClocks",
+    "BlockColumnDistribution",
+    "block_cyclic_redistribution_bytes",
+    "ThreadedChi0Operator",
+    "ProcessChi0Operator",
+    "WorkItem",
+    "ScheduleComparison",
+    "list_schedule_makespan",
+    "static_block_column_makespan",
+    "Chi0WorkloadProfiler",
+    "ParallelRPAResult",
+    "ParallelPointRecord",
+    "compute_rpa_energy_parallel",
+]

@@ -1,0 +1,75 @@
+"""Real shared-memory parallel backend for Sternheimer solves.
+
+The simulated-MPI runtime reproduces the paper's *scaling studies*; this
+module provides actual wall-clock speedup on one machine by fanning the
+``n_s`` independent Sternheimer block systems of each chi0 application out
+over a thread pool (numpy's BLAS releases the GIL in the dense kernels
+that dominate block COCG).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.sternheimer import Chi0Operator
+
+
+class ThreadedChi0Operator(Chi0Operator):
+    """Drop-in ``Chi0Operator`` parallelizing over occupied orbitals.
+
+    Parameters
+    ----------
+    n_workers:
+        Thread count (defaults to ``min(n_s, os.cpu_count())``).
+
+    All other parameters follow :class:`repro.core.sternheimer.Chi0Operator`.
+    Statistics are aggregated with a lock-free per-task pattern: each task
+    records into its own ``SternheimerStats`` which are merged afterwards,
+    so totals are deterministic even under concurrency.
+    """
+
+    def __init__(self, *args, n_workers: int | None = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        import os
+
+        if n_workers is None:
+            n_workers = min(self.n_occupied, os.cpu_count() or 1)
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = int(n_workers)
+
+    def apply_chi0(self, v: np.ndarray, omega: float) -> np.ndarray:
+        if omega <= 0:
+            raise ValueError(f"omega must be positive (got {omega})")
+        squeeze = False
+        V = np.asarray(v, dtype=float)
+        if V.ndim == 1:
+            V = V[:, None]
+            squeeze = True
+        if V.shape[0] != self.n_points:
+            raise ValueError(f"operand rows {V.shape[0]} != n_d {self.n_points}")
+
+        from repro.core.sternheimer import SternheimerStats
+
+        def task(j: int):
+            # Give each task an isolated stats sink by temporarily swapping;
+            # the base class records into self.stats, so run on a clone.
+            worker = Chi0Operator.__new__(Chi0Operator)
+            worker.__dict__.update(self.__dict__)
+            worker.stats = SternheimerStats()
+            y = worker._solve_orbital(j, V, omega)
+            return j, y, worker.stats
+
+        acc = np.zeros((self.n_points, V.shape[1]), dtype=complex)
+        if self.n_workers == 1:
+            results = [task(j) for j in range(self.n_occupied)]
+        else:
+            with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+                results = list(pool.map(task, range(self.n_occupied)))
+        for j, y, stats in sorted(results, key=lambda r: r[0]):
+            acc += self.psi[:, j : j + 1] * y
+            self.stats.merge(stats)
+        out = 4.0 * acc.real
+        return out[:, 0] if squeeze else out

@@ -1,0 +1,142 @@
+"""Manager-worker work distribution — the paper's Section V future work.
+
+The paper's static block-column distribution leaves residual load imbalance
+because individual right-hand sides of the same Sternheimer system converge
+at different rates; it proposes a transition to a manager-worker model.
+This module simulates that transition: every (orbital, column-chunk) solve
+of one chi0 application is executed once and timed, then the measured item
+durations are scheduled onto ``p`` virtual workers both ways:
+
+* **static** — the paper's production layout: contiguous column blocks per
+  rank, every rank solving all ``n_s`` orbitals for its own columns;
+* **dynamic** — greedy list scheduling (optionally longest-processing-time
+  first), the natural manager-worker policy.
+
+The comparison quantifies how much walltime the future-work scheduler would
+recover.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sternheimer import Chi0Operator
+from repro.parallel.distribution import BlockColumnDistribution
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One Sternheimer block solve: orbital ``j`` applied to a column chunk."""
+
+    orbital: int
+    columns: tuple[int, int]  # [start, stop)
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError("item duration must be non-negative")
+        if self.columns[1] <= self.columns[0]:
+            raise ValueError("empty column chunk")
+
+
+def list_schedule_makespan(durations, p: int, lpt: bool = True) -> float:
+    """Makespan of greedy list scheduling of ``durations`` on ``p`` workers.
+
+    ``lpt=True`` sorts longest-first (Graham's LPT rule, within 4/3 of
+    optimal); ``lpt=False`` keeps arrival order (plain FIFO manager-worker).
+    """
+    durations = [float(d) for d in durations]
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    if any(d < 0 for d in durations):
+        raise ValueError("durations must be non-negative")
+    if not durations:
+        return 0.0
+    if lpt:
+        durations = sorted(durations, reverse=True)
+    heap = [0.0] * p
+    heapq.heapify(heap)
+    for d in durations:
+        earliest = heapq.heappop(heap)
+        heapq.heappush(heap, earliest + d)
+    return max(heap)
+
+
+def static_block_column_makespan(items: list[WorkItem], n_cols: int, p: int) -> float:
+    """Makespan of the paper's static distribution for the same items.
+
+    Each item is charged to the rank owning its columns (items never span
+    owners when produced by :class:`Chi0WorkloadProfiler` with chunk sizes
+    dividing the ownership blocks; spanning items are charged to the owner
+    of their first column, a second-order effect).
+    """
+    dist = BlockColumnDistribution(n_cols, p)
+    loads = np.zeros(p)
+    for item in items:
+        loads[dist.owner_of(item.columns[0])] += item.seconds
+    return float(loads.max())
+
+
+@dataclass
+class ScheduleComparison:
+    """Outcome of the static-vs-manager-worker comparison."""
+
+    static_makespan: float
+    dynamic_makespan: float
+    dynamic_fifo_makespan: float
+    ideal_makespan: float  # sum / p: perfect balance, no scheduling limits
+    n_items: int
+
+    @property
+    def improvement(self) -> float:
+        """Fractional walltime recovered by the manager-worker model."""
+        if self.static_makespan == 0.0:
+            return 0.0
+        return 1.0 - self.dynamic_makespan / self.static_makespan
+
+
+class Chi0WorkloadProfiler:
+    """Measures per-item Sternheimer durations for scheduling studies.
+
+    Executes each (orbital, column-chunk) block solve of one chi0
+    application exactly once with real timing, producing the
+    :class:`WorkItem` list both schedulers consume.
+    """
+
+    def __init__(self, chi0_operator: Chi0Operator, chunk: int = 4) -> None:
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        self.op = chi0_operator
+        self.chunk = int(chunk)
+
+    def measure(self, v: np.ndarray, omega: float) -> list[WorkItem]:
+        V = np.asarray(v, dtype=float)
+        if V.ndim != 2 or V.shape[0] != self.op.n_points:
+            raise ValueError(f"expected (n_d, n_v) block, got {V.shape}")
+        items: list[WorkItem] = []
+        n_v = V.shape[1]
+        for j in range(self.op.n_occupied):
+            for start in range(0, n_v, self.chunk):
+                stop = min(start + self.chunk, n_v)
+                t0 = time.perf_counter()
+                self.op._solve_orbital(j, V[:, start:stop], omega)
+                items.append(WorkItem(j, (start, stop), time.perf_counter() - t0))
+        return items
+
+    def compare_schedules(self, v: np.ndarray, omega: float, p: int) -> ScheduleComparison:
+        """Measure once, then schedule statically and dynamically on ``p``."""
+        V = np.asarray(v, dtype=float)
+        items = self.measure(V, omega)
+        durations = [it.seconds for it in items]
+        total = sum(durations)
+        return ScheduleComparison(
+            static_makespan=static_block_column_makespan(items, V.shape[1], p),
+            dynamic_makespan=list_schedule_makespan(durations, p, lpt=True),
+            dynamic_fifo_makespan=list_schedule_makespan(durations, p, lpt=False),
+            ideal_makespan=total / p,
+            n_items=len(items),
+        )

@@ -1,0 +1,113 @@
+"""Process-pool backend for Sternheimer solves (true multi-core execution).
+
+The threaded backend (`repro.parallel.executor`) relies on numpy's BLAS
+releasing the GIL; for the many small single-column solves the paper's
+loose tolerances produce, Python-level overhead keeps threads partially
+serialized. This backend fans the ``n_s`` independent orbital solves out
+over *processes* instead (fork start method: the operator state is
+inherited copy-on-write, only per-orbital solutions cross process
+boundaries).
+
+Results are bit-identical to the serial operator: each orbital's solve is
+the same deterministic computation, merely executed elsewhere.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.core.sternheimer import Chi0Operator, SternheimerStats
+
+# Worker-side state, installed once per worker via the initializer.
+_WORKER_OP: Chi0Operator | None = None
+
+
+def _init_worker(op: Chi0Operator) -> None:
+    global _WORKER_OP
+    _WORKER_OP = op
+
+
+def _solve_orbital_task(args: tuple[int, np.ndarray, float]):
+    j, V, omega = args
+    assert _WORKER_OP is not None, "worker not initialized"
+    _WORKER_OP.stats = SternheimerStats()  # isolate per-task statistics
+    y = _WORKER_OP._solve_orbital(j, V, omega)
+    return j, y, _WORKER_OP.stats
+
+
+class ProcessChi0Operator(Chi0Operator):
+    """Drop-in ``Chi0Operator`` distributing orbital solves over processes.
+
+    Parameters
+    ----------
+    n_workers:
+        Process count (defaults to ``min(n_s, cpu_count)``).
+
+    Notes
+    -----
+    Requires a platform with the ``fork`` start method (Linux). The worker
+    pool is created lazily on the first application and reused; call
+    :meth:`close` (or use the operator as a context manager) to release the
+    processes.
+    """
+
+    def __init__(self, *args, n_workers: int | None = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if n_workers is None:
+            n_workers = min(self.n_occupied, os.cpu_count() or 1)
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = int(n_workers)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            import multiprocessing
+
+            ctx = multiprocessing.get_context("fork")
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(self,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ProcessChi0Operator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def apply_chi0(self, v: np.ndarray, omega: float) -> np.ndarray:
+        if omega <= 0:
+            raise ValueError(f"omega must be positive (got {omega})")
+        squeeze = False
+        V = np.asarray(v, dtype=float)
+        if V.ndim == 1:
+            V = V[:, None]
+            squeeze = True
+        if V.shape[0] != self.n_points:
+            raise ValueError(f"operand rows {V.shape[0]} != n_d {self.n_points}")
+
+        if self.n_workers == 1:
+            out = super().apply_chi0(V, omega)
+            return out[:, 0] if squeeze else out
+
+        pool = self._ensure_pool()
+        tasks = [(j, V, omega) for j in range(self.n_occupied)]
+        acc = np.zeros((self.n_points, V.shape[1]), dtype=complex)
+        results = sorted(pool.map(_solve_orbital_task, tasks), key=lambda r: r[0])
+        for j, y, stats in results:
+            acc += self.psi[:, j : j + 1] * y
+            self.stats.merge(stats)
+        out = 4.0 * acc.real
+        return out[:, 0] if squeeze else out

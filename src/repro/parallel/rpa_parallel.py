@@ -1,0 +1,328 @@
+"""Simulated-MPI distributed RPA driver (Sections III-D / IV-C).
+
+Executes the paper's parallelization structure on simulated ranks:
+
+* ``V`` is distributed by block columns over ``p <= n_eig`` ranks; every
+  ``nu^{1/2} chi0 nu^{1/2}`` application is embarrassingly parallel — each
+  rank's share is *actually executed* and its wall time charged to that
+  rank's virtual clock, so load imbalance from (j, k)-dependent Sternheimer
+  difficulty emerges from real measurements, not a model.
+* Algorithm 4's block-size cap becomes ``n_eig / p`` (Section III-D).
+* The ScaLAPACK phases (subspace matmults, generalized eigensolve) are
+  executed once serially, and their simulated parallel time is charged
+  from measured serial time through the Fig. 5-calibrated efficiency
+  models, plus block-cyclic redistribution and allreduce communication
+  from the Hockney model.
+* The Eq. 7 convergence check is charged as the paper describes (one more
+  operator application plus an allreduce) using the per-rank durations
+  measured for the identical multiplication in the same iteration.
+
+The returned energies are *identical* to the serial driver (the math is
+the same); only the time accounting differs. Figures 4, 5 and 6 are
+regenerated from these simulated walltimes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.linalg
+
+from repro.config import RPAConfig
+from repro.core.quadrature import FrequencyQuadrature, transformed_gauss_legendre
+from repro.core.sternheimer import Chi0Operator, SternheimerStats
+from repro.core.trace import trace_from_eigenvalues
+from repro.dft.eigensolvers import chebyshev_filter
+from repro.dft.scf import DFTResult
+from repro.grid.coulomb import CoulombOperator
+from repro.parallel.costmodel import (
+    PACE_PHOENIX,
+    MachineProfile,
+    allreduce_time,
+    eigensolve_parallel_time,
+    matmult_parallel_time,
+    redistribution_time,
+)
+from repro.parallel.distribution import (
+    BlockColumnDistribution,
+    block_cyclic_redistribution_bytes,
+)
+from repro.parallel.virtual_clock import VirtualClocks
+from repro.utils.rng import default_rng
+
+
+@dataclass
+class ParallelPointRecord:
+    """Per-quadrature-point simulated timings."""
+
+    index: int
+    omega: float
+    weight: float
+    energy_term: float
+    filter_iterations: int
+    converged: bool
+    simulated_seconds: float
+
+
+@dataclass
+class ParallelRPAResult:
+    """Outcome of a simulated distributed RPA run."""
+
+    energy: float
+    energy_per_atom: float
+    points: list[ParallelPointRecord]
+    quadrature: FrequencyQuadrature
+    n_ranks: int
+    machine: MachineProfile
+    simulated_walltime: float
+    breakdown: dict[str, float]
+    comm_seconds: float
+    imbalance_seconds: float
+    per_rank_chi0_seconds: np.ndarray
+    stats: SternheimerStats
+    config: RPAConfig
+    wall_seconds: float = 0.0
+    block_size_cap: int = 1
+
+    @property
+    def converged(self) -> bool:
+        return all(p.converged for p in self.points)
+
+
+@dataclass
+class _Phases:
+    """Mutable simulated-time accumulators shared across one run."""
+
+    clocks: VirtualClocks
+    breakdown: dict[str, float] = field(
+        default_factory=lambda: {
+            "chi0_apply": 0.0,
+            "matmult": 0.0,
+            "eigensolve": 0.0,
+            "eval_error": 0.0,
+        }
+    )
+    last_apply_per_rank: np.ndarray | None = None
+    per_rank_chi0: np.ndarray | None = None
+
+
+def compute_rpa_energy_parallel(
+    dft: DFTResult,
+    config: RPAConfig,
+    n_ranks: int,
+    machine: MachineProfile = PACE_PHOENIX,
+    coulomb: CoulombOperator | None = None,
+) -> ParallelRPAResult:
+    """Run Algorithm 6 on ``n_ranks`` simulated processors.
+
+    Parameters
+    ----------
+    dft:
+        Converged ground state.
+    config:
+        RPA configuration; ``config.max_block_size`` is additionally capped
+        at ``n_eig / n_ranks`` per Section III-D.
+    n_ranks:
+        Simulated processor count; must satisfy ``n_ranks <= n_eig``.
+    machine:
+        Interconnect/kernel-efficiency profile (default: the paper's
+        PACE-Phoenix).
+    """
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    if n_ranks > config.n_eig:
+        raise ValueError(
+            f"the paper's distribution requires p <= n_eig (got p={n_ranks}, "
+            f"n_eig={config.n_eig})"
+        )
+    start_wall = time.perf_counter()
+    n_d = dft.grid.n_points
+    if config.n_eig > n_d:
+        raise ValueError(f"n_eig = {config.n_eig} exceeds n_d = {n_d}")
+    if coulomb is None:
+        coulomb = CoulombOperator(dft.grid, radius=dft.hamiltonian.radius)
+
+    dist = BlockColumnDistribution(config.n_eig, n_ranks)
+    block_cap = min(config.max_block_size, dist.max_block_size())
+    chi0op = Chi0Operator(
+        dft.hamiltonian,
+        dft.occupied_orbitals,
+        dft.occupied_energies,
+        coulomb,
+        tol=config.tol_sternheimer,
+        max_iterations=config.max_cocg_iterations,
+        use_galerkin_guess=config.use_galerkin_guess,
+        dynamic_block_size=config.dynamic_block_size,
+        fixed_block_size=config.fixed_block_size,
+        max_block_size=block_cap,
+    )
+
+    phases = _Phases(clocks=VirtualClocks(n_ranks))
+    phases.per_rank_chi0 = np.zeros(n_ranks)
+
+    def rankwise_apply(V: np.ndarray, omega: float) -> np.ndarray:
+        """One distributed symmetrized apply; charges per-rank clocks."""
+        W = np.empty_like(V)
+        durations = np.zeros(n_ranks)
+        for r in range(n_ranks):
+            sl = dist.owned_slice(r)
+            t0 = time.perf_counter()
+            W[:, sl] = chi0op.apply_symmetrized(V[:, sl], omega)
+            durations[r] = time.perf_counter() - t0
+            phases.clocks.advance(r, durations[r])
+        phases.last_apply_per_rank = durations
+        phases.per_rank_chi0 += durations
+        before = phases.breakdown["chi0_apply"]
+        phases.breakdown["chi0_apply"] = before + float(durations.max())
+        return W
+
+    quad = transformed_gauss_legendre(config.n_quadrature)
+    rng = default_rng(config.seed)
+    V = rng.standard_normal((n_d, config.n_eig))
+
+    energy = 0.0
+    points: list[ParallelPointRecord] = []
+    for k in range(1, len(quad) + 1):
+        omega = float(quad.points[k - 1])
+        weight = float(quad.weights[k - 1])
+        t_point0 = phases.clocks.elapsed
+        vals, V, converged, iters = _parallel_subspace(
+            rankwise_apply,
+            V,
+            omega,
+            tol=config.tol_subspace_for(k),
+            degree=config.filter_degree,
+            max_iterations=config.max_filter_iterations,
+            phases=phases,
+            machine=machine,
+            p=n_ranks,
+        )
+        e_k = trace_from_eigenvalues(vals)
+        energy += weight * e_k / (2.0 * np.pi)
+        points.append(
+            ParallelPointRecord(
+                index=k,
+                omega=omega,
+                weight=weight,
+                energy_term=e_k,
+                filter_iterations=iters,
+                converged=converged,
+                simulated_seconds=phases.clocks.elapsed - t_point0,
+            )
+        )
+
+    return ParallelRPAResult(
+        energy=energy,
+        energy_per_atom=energy / dft.crystal.n_atoms,
+        points=points,
+        quadrature=quad,
+        n_ranks=n_ranks,
+        machine=machine,
+        simulated_walltime=phases.clocks.elapsed,
+        breakdown=dict(phases.breakdown),
+        comm_seconds=phases.clocks.comm_seconds,
+        imbalance_seconds=phases.clocks.imbalance_seconds,
+        per_rank_chi0_seconds=phases.per_rank_chi0.copy(),
+        stats=chi0op.stats,
+        config=config,
+        wall_seconds=time.perf_counter() - start_wall,
+        block_size_cap=block_cap,
+    )
+
+
+# -- the distributed Algorithm 5 ------------------------------------------------
+
+
+def _parallel_subspace(
+    rankwise_apply,
+    V: np.ndarray,
+    omega: float,
+    tol: float,
+    degree: int,
+    max_iterations: int,
+    phases: _Phases,
+    machine: MachineProfile,
+    p: int,
+):
+    W = rankwise_apply(V, omega)
+    vals, V, W = _parallel_rayleigh_ritz(V, W, phases, machine, p)
+    err = _parallel_eq7(V, W, vals, phases, machine, p)
+    if err <= tol:
+        return vals, V, True, 0
+
+    for it in range(1, max_iterations + 1):
+        low, cut, high = _filter_bounds(vals)
+        V = chebyshev_filter(lambda B: rankwise_apply(B, omega), V, degree, low, cut, high)
+        W = rankwise_apply(V, omega)
+        vals, V, W = _parallel_rayleigh_ritz(V, W, phases, machine, p)
+        err = _parallel_eq7(V, W, vals, phases, machine, p)
+        if err <= tol:
+            return vals, V, True, it
+    return vals, V, False, max_iterations
+
+
+def _filter_bounds(vals: np.ndarray) -> tuple[float, float, float]:
+    from repro.core.subspace import _filter_bounds as bounds
+
+    return bounds(vals)
+
+
+def _parallel_rayleigh_ritz(V, W, phases: _Phases, machine: MachineProfile, p: int):
+    """ScaLAPACK phase: redistribution + pdgemm + pdsyevd + rotation."""
+    n_d, m = V.shape
+    t0 = time.perf_counter()
+    hs = V.T @ W
+    ms = V.T @ V
+    hs = 0.5 * (hs + hs.T)
+    ms = 0.5 * (ms + ms.T)
+    t_mm = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    try:
+        vals, Q = scipy.linalg.eigh(hs, ms)
+    except (np.linalg.LinAlgError, scipy.linalg.LinAlgError, ValueError):
+        reg = 1e-12 * max(float(np.trace(ms)) / m, 1.0)
+        vals, Q = scipy.linalg.eigh(hs, ms + reg * np.eye(m))
+    t_eig = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    V = V @ Q
+    W = W @ Q
+    t_rot = time.perf_counter() - t0
+
+    # Simulated charges: redistribute V and W to block-cyclic, run the
+    # parallel matmults and eigensolve, redistribute back.
+    redist = 2.0 * redistribution_time(
+        machine, block_cyclic_redistribution_bytes(n_d, 2 * m), p
+    )
+    mm = matmult_parallel_time(machine, t_mm + t_rot, p)
+    eig = eigensolve_parallel_time(machine, t_eig, p)
+    phases.breakdown["matmult"] += mm + redist
+    phases.breakdown["eigensolve"] += eig
+    phases.clocks.synchronize(redist)
+    phases.clocks.advance_all(mm + eig)
+    return vals, V, W
+
+
+def _parallel_eq7(V, W, vals, phases: _Phases, machine: MachineProfile, p: int) -> float:
+    """Eq. 7 check: one more distributed apply plus a scalar allreduce.
+
+    The multiplication's cost is charged from the per-rank durations just
+    measured for the identical product (``W`` post-rotation *is* that
+    product), so no redundant execution is needed.
+    """
+    durations = phases.last_apply_per_rank
+    if durations is not None:
+        for r in range(p):
+            phases.clocks.advance(r, float(durations[r]))
+        phases.breakdown["eval_error"] += float(durations.max())
+    comm = allreduce_time(machine, 8.0, p)  # one scalar per rank
+    phases.clocks.synchronize(comm)
+    R = W - V * vals
+    num = np.linalg.norm(R, axis=0).sum()
+    den = len(vals) * np.sqrt(np.sum(vals**2))
+    if den == 0.0:
+        return float(np.inf) if num > 0 else 0.0
+    return float(num / den)

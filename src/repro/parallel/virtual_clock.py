@@ -1,0 +1,60 @@
+"""Per-rank virtual clocks for the simulated SPMD runtime.
+
+Every simulated rank owns a clock; local work advances one clock by the
+measured (or modeled) duration, while collectives synchronize all clocks to
+the maximum and add the modeled communication time. The simulated walltime
+of a run is the final maximum clock value — exactly how an MPI program's
+elapsed time is governed by its slowest rank plus communication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class VirtualClocks:
+    """A vector of per-rank clocks with phase bookkeeping."""
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        self.n_ranks = int(n_ranks)
+        self._t = np.zeros(self.n_ranks)
+        self.comm_seconds = 0.0
+        self.imbalance_seconds = 0.0
+
+    def advance(self, rank: int, seconds: float) -> None:
+        """Charge local work to one rank."""
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} out of range 0..{self.n_ranks - 1}")
+        if seconds < 0:
+            raise ValueError("cannot advance a clock by negative time")
+        self._t[rank] += seconds
+
+    def advance_all(self, seconds: float) -> None:
+        """Charge identical (replicated) work to every rank."""
+        if seconds < 0:
+            raise ValueError("cannot advance clocks by negative time")
+        self._t += seconds
+
+    def synchronize(self, comm_seconds: float = 0.0) -> float:
+        """Barrier + optional collective: align clocks to the maximum.
+
+        Records the idle time the slower ranks impose (load imbalance) and
+        the communication charge. Returns the post-sync time.
+        """
+        if comm_seconds < 0:
+            raise ValueError("communication time must be non-negative")
+        peak = float(self._t.max())
+        self.imbalance_seconds += float((peak - self._t).sum()) / self.n_ranks
+        self._t[:] = peak + comm_seconds
+        self.comm_seconds += comm_seconds
+        return float(self._t[0])
+
+    @property
+    def elapsed(self) -> float:
+        """Current simulated walltime (slowest rank)."""
+        return float(self._t.max())
+
+    def per_rank(self) -> np.ndarray:
+        return self._t.copy()

@@ -1,0 +1,166 @@
+"""Dynamic block-size selection — the paper's Algorithm 4.
+
+Each (simulated) processor owns a queue of right-hand-side columns for a
+fixed Sternheimer coefficient matrix. It probes geometrically increasing
+block sizes (1, 2, 4, ...) on successive chunks of the queue: doubling the
+block size doubles the work per chunk, so the probe keeps doubling while
+
+    t_new <= 2 * t_old        (per-chunk; equivalently per-column cost
+                               non-increasing)
+
+and settles on the last efficient size for the remaining columns. Costs are
+wall-clock by default; a deterministic FLOP model (:func:`flop_cost_model`)
+is provided for reproducible tests and for the simulated-MPI runtime.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable
+
+import numpy as np
+
+from repro.solvers.block_cocg import block_cocg_solve
+from repro.solvers.stats import BlockSizeDecision, DynamicSolveResult, SolveResult
+
+CostFn = Callable[[SolveResult, float], float]
+
+
+def flop_cost_model(apply_cost_per_column: float) -> CostFn:
+    """Deterministic cost model mirroring Section III-B's per-iteration terms.
+
+    ``cost = n_matvec * apply_cost + iterations * (5 n s^2 + 2 s^3)``
+
+    Parameters
+    ----------
+    apply_cost_per_column:
+        FLOPs charged per operator application to one column (e.g.
+        ``(6 r + 1) * n_d`` for the stencil part plus the nonlocal term).
+    """
+
+    def cost(result: SolveResult, _wall: float) -> float:
+        s = result.block_size
+        n = result.solution.shape[0]
+        blas3 = result.iterations * (5.0 * n * s * s + 2.0 * s**3)
+        return result.n_matvec * apply_cost_per_column + blas3
+
+    return cost
+
+
+def solve_with_dynamic_block_size(
+    a,
+    b: np.ndarray,
+    tol: float = 1e-8,
+    max_iterations: int = 1000,
+    x0: np.ndarray | None = None,
+    max_block_size: int = 16,
+    solver=block_cocg_solve,
+    cost_fn: CostFn | None = None,
+    n: int | None = None,
+    preconditioner=None,
+) -> DynamicSolveResult:
+    """Solve ``A Y = B`` choosing the COCG block size on the fly (Algorithm 4).
+
+    Parameters
+    ----------
+    a, b, tol, max_iterations, n, preconditioner:
+        As in :func:`repro.solvers.block_cocg.block_cocg_solve`.
+    x0:
+        Optional initial guess for the *whole* block (columns are sliced to
+        match each chunk).
+    max_block_size:
+        Upper bound on the probe (the parallel runtime caps this at
+        ``n_eig / p`` — Section III-D).
+    solver:
+        Block solver with the ``block_cocg_solve`` signature.
+    cost_fn:
+        Maps ``(SolveResult, wall_seconds) -> cost``; wall-clock by default.
+
+    Returns
+    -------
+    DynamicSolveResult
+        Including ``block_size_counts`` (Table IV data) and the probe
+        ``decisions`` trace.
+    """
+    b = np.asarray(b, dtype=complex)
+    if b.ndim == 1:
+        b = b[:, None]
+    n_rhs = b.shape[1]
+    if n_rhs == 0:
+        raise ValueError("b must contain at least one right-hand side")
+    if max_block_size < 1:
+        raise ValueError("max_block_size must be >= 1")
+    if x0 is not None:
+        x0 = np.asarray(x0, dtype=complex)
+        if x0.ndim == 1:
+            x0 = x0[:, None]
+        if x0.shape != b.shape:
+            raise ValueError(f"x0 shape {x0.shape} != rhs shape {b.shape}")
+    measure = cost_fn if cost_fn is not None else (lambda _res, wall: wall)
+
+    Y = np.empty(b.shape, dtype=complex)
+    decisions: list[BlockSizeDecision] = []
+    chunk_results: list[SolveResult] = []
+    counts: dict[int, int] = {}
+    next_col = 0
+
+    def _solve_chunk(s: int) -> tuple[SolveResult, float, int]:
+        nonlocal next_col
+        cols = min(s, n_rhs - next_col)
+        sl = slice(next_col, next_col + cols)
+        guess = x0[:, sl] if x0 is not None else None
+        kwargs = {"x0": guess, "tol": tol, "max_iterations": max_iterations, "n": n}
+        if preconditioner is not None:
+            kwargs["preconditioner"] = preconditioner
+        start = perf_counter()
+        res = solver(a, b[:, sl], **kwargs)
+        wall = perf_counter() - start
+        sol = res.solution if res.solution.ndim == 2 else res.solution[:, None]
+        Y[:, sl] = sol
+        chunk_results.append(res)
+        counts[cols] = counts.get(cols, 0) + 1
+        next_col += cols
+        return res, measure(res, wall), cols
+
+    # -- probe phase (Algorithm 4 lines 1-12) --------------------------------
+    res, t_old, cols_old = _solve_chunk(1)
+    s = 1
+    decisions.append(BlockSizeDecision(1, cols_old, t_old, accepted=True))
+    if next_col < n_rhs and max_block_size >= 2:
+        res, t_new, cols_new = _solve_chunk(2)
+        s = 2
+        while next_col < n_rhs:
+            # Per-column cost comparison == the paper's t_new <= 2 t_old for
+            # full chunks, but stays fair for ragged trailing chunks.
+            efficient = (t_new / cols_new) <= (t_old / cols_old) and not res.breakdown
+            decisions.append(BlockSizeDecision(s, cols_new, t_new, accepted=efficient))
+            if not efficient:
+                s = max(1, s // 2)
+                break
+            if 2 * s > max_block_size:
+                break
+            t_old, cols_old = t_new, cols_new
+            s *= 2
+            res, t_new, cols_new = _solve_chunk(s)
+        else:
+            # Queue exhausted during probing; record the final probe verdict.
+            efficient = (t_new / cols_new) <= (t_old / cols_old) and not res.breakdown
+            decisions.append(BlockSizeDecision(s, cols_new, t_new, accepted=efficient))
+            if not efficient:
+                s = max(1, s // 2)
+
+    # -- steady phase (Algorithm 4 line 13) -----------------------------------
+    while next_col < n_rhs:
+        _solve_chunk(s)
+
+    converged = all(r.converged for r in chunk_results)
+    return DynamicSolveResult(
+        solution=Y,
+        converged=converged,
+        selected_block_size=s,
+        block_size_counts=counts,
+        decisions=decisions,
+        chunk_results=chunk_results,
+        total_iterations=sum(r.iterations for r in chunk_results),
+        n_matvec=sum(r.n_matvec for r in chunk_results),
+    )

@@ -1,0 +1,71 @@
+"""Classical conjugate gradients for Hermitian positive-definite systems.
+
+Used for Poisson-type solves in tests and as the limiting case the COCG
+recurrences must reduce to on real SPD input (a property test pins this).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solvers.linear_operator import as_operator
+from repro.solvers.stats import SolveResult
+
+
+def cg_solve(
+    a,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-8,
+    max_iterations: int = 1000,
+    n: int | None = None,
+) -> SolveResult:
+    """Solve ``A x = b`` for Hermitian positive-definite ``A``.
+
+    Parameters
+    ----------
+    a:
+        Operator (see :func:`repro.solvers.linear_operator.as_operator`).
+    b:
+        Right-hand side vector ``(n,)``.
+    x0:
+        Initial guess (zero when omitted).
+    tol:
+        Relative residual stopping tolerance ``||r|| <= tol ||b||``.
+    max_iterations:
+        Iteration cap.
+    """
+    A = as_operator(a, n)
+    b = np.asarray(b)
+    if b.ndim != 1:
+        raise ValueError("cg_solve expects a single right-hand side")
+    if tol <= 0:
+        raise ValueError("tol must be positive")
+    x = np.zeros_like(b) if x0 is None else np.array(x0, copy=True)
+    b_norm = float(np.linalg.norm(b))
+    if b_norm == 0.0:
+        return SolveResult(np.zeros_like(b), True, 0, 0.0, [0.0])
+
+    r = b - A(x)
+    p = r.copy()
+    rs = np.vdot(r, r)
+    history = [float(np.sqrt(rs.real)) / b_norm]
+    if history[-1] <= tol:
+        return SolveResult(x, True, 0, history[-1], history, n_matvec=A.n_applies)
+
+    for it in range(1, max_iterations + 1):
+        Ap = A(p)
+        denom = np.vdot(p, Ap)
+        if denom.real <= 0 and abs(denom) < 1e-300:
+            return SolveResult(x, False, it - 1, history[-1], history, A.n_applies, breakdown=True)
+        alpha = rs / denom
+        x = x + alpha * p
+        r = r - alpha * Ap
+        rs_new = np.vdot(r, r)
+        history.append(float(np.sqrt(rs_new.real)) / b_norm)
+        if history[-1] <= tol:
+            return SolveResult(x, True, it, history[-1], history, n_matvec=A.n_applies)
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+
+    return SolveResult(x, False, max_iterations, history[-1], history, n_matvec=A.n_applies)

@@ -1,0 +1,98 @@
+"""Conjugate Orthogonal Conjugate Gradient (COCG) for complex symmetric systems.
+
+COCG (van der Vorst & Melissen, 1990) solves ``A x = b`` with
+``A = A^T in C^{n x n}`` using a three-term short recurrence built on the
+*unconjugated* bilinear form ``<x, y> = x^T y``. It is the single-vector
+specialization of the paper's Algorithm 3; the block solver in
+``repro.solvers.block_cocg`` must reproduce it exactly at block size 1
+(tested).
+
+An optional real symmetric positive-definite preconditioner ``M ~ A`` is
+supported (the paper's future-work item): the recurrence then uses
+``z = M^{-1} w`` with the bilinear form ``w^T z``, which stays symmetric
+because ``M`` is real SPD.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.solvers.linear_operator import as_operator
+from repro.solvers.stats import SolveResult
+
+_BREAKDOWN_EPS = 1e-300
+
+
+def cocg_solve(
+    a,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-8,
+    max_iterations: int = 1000,
+    n: int | None = None,
+    preconditioner: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> SolveResult:
+    """Solve the complex symmetric system ``A x = b`` by (preconditioned) COCG.
+
+    Parameters
+    ----------
+    a:
+        Complex symmetric operator.
+    b:
+        Right-hand side ``(n,)``.
+    x0:
+        Initial guess (zero when omitted).
+    tol:
+        Relative residual tolerance ``||r||_2 <= tol * ||b||_2``.
+    max_iterations:
+        Iteration cap.
+    preconditioner:
+        Optional application of ``M^{-1}`` for real SPD ``M``.
+
+    Notes
+    -----
+    COCG has no residual-optimality property (unlike GMRES); stagnation on
+    highly indefinite spectra is expected and surfaces as
+    ``converged=False``. A true breakdown (``p^T A p = 0`` or ``w^T z = 0``)
+    sets ``breakdown=True``.
+    """
+    A = as_operator(a, n)
+    b = np.asarray(b, dtype=complex)
+    if b.ndim != 1:
+        raise ValueError("cocg_solve expects a single right-hand side; use block_cocg_solve")
+    if tol <= 0:
+        raise ValueError("tol must be positive")
+    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=complex, copy=True)
+    b_norm = float(np.linalg.norm(b))
+    if b_norm == 0.0:
+        return SolveResult(np.zeros_like(b), True, 0, 0.0, [0.0])
+
+    M = preconditioner if preconditioner is not None else (lambda v: v)
+    w = b - A(x)
+    z = M(w)
+    rho = w @ z  # unconjugated
+    history = [float(np.linalg.norm(w)) / b_norm]
+    if history[-1] <= tol:
+        return SolveResult(x, True, 0, history[-1], history, n_matvec=A.n_applies)
+
+    p = z.copy()
+    for it in range(1, max_iterations + 1):
+        u = A(p)
+        mu = p @ u
+        if abs(mu) < _BREAKDOWN_EPS or abs(rho) < _BREAKDOWN_EPS:
+            return SolveResult(x, False, it - 1, history[-1], history, A.n_applies, breakdown=True)
+        alpha = rho / mu
+        x = x + alpha * p
+        w = w - alpha * u
+        history.append(float(np.linalg.norm(w)) / b_norm)
+        if history[-1] <= tol:
+            return SolveResult(x, True, it, history[-1], history, n_matvec=A.n_applies)
+        z = M(w)
+        rho_new = w @ z
+        beta = rho_new / rho
+        p = z + beta * p
+        rho = rho_new
+
+    return SolveResult(x, False, max_iterations, history[-1], history, n_matvec=A.n_applies)

@@ -1,0 +1,81 @@
+"""Minimal linear-operator abstraction shared by all Krylov solvers.
+
+Solvers accept anything convertible by :func:`as_operator`: a dense
+ndarray, a scipy sparse matrix, an object with a ``.apply`` method (e.g.
+the Hamiltonian), or a bare callable. The wrapper also counts operator
+applications (by column) so benchmarks can report matvec totals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class CountingOperator:
+    """Wraps ``A`` as a block-apply callable and counts column applications.
+
+    Parameters
+    ----------
+    apply_fn:
+        Callable mapping an ``(n, s)`` or ``(n,)`` array to its image.
+    n:
+        Operator dimension.
+    """
+
+    def __init__(self, apply_fn: Callable[[np.ndarray], np.ndarray], n: int) -> None:
+        self._apply = apply_fn
+        self.n = int(n)
+        self.n_applies = 0  # total columns pushed through the operator
+        self.n_calls = 0  # number of block applications
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if x.shape[0] != self.n:
+            raise ValueError(f"operand leading dim {x.shape[0]} != operator dim {self.n}")
+        self.n_calls += 1
+        self.n_applies += 1 if x.ndim == 1 else x.shape[1]
+        y = self._apply(x)
+        y = np.asarray(y)
+        if y.shape != x.shape:
+            raise ValueError(f"operator returned shape {y.shape} for operand {x.shape}")
+        return y
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n, self.n)
+
+
+def as_operator(a, n: int | None = None) -> CountingOperator:
+    """Coerce ``a`` into a :class:`CountingOperator`.
+
+    Parameters
+    ----------
+    a:
+        ndarray, sparse matrix, object exposing ``.apply(x)``, existing
+        :class:`CountingOperator`, or callable ``x -> A x``.
+    n:
+        Dimension, required only for bare callables.
+    """
+    if isinstance(a, CountingOperator):
+        return a
+    if isinstance(a, np.ndarray):
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError(f"matrix operand must be square, got {a.shape}")
+        return CountingOperator(lambda x: a @ x, a.shape[0])
+    if sp.issparse(a):
+        if a.shape[0] != a.shape[1]:
+            raise ValueError(f"sparse operand must be square, got {a.shape}")
+        return CountingOperator(lambda x: a @ x, a.shape[0])
+    if hasattr(a, "apply") and callable(a.apply):
+        dim = getattr(a, "n_points", None) or getattr(a, "n", None)
+        if dim is None:
+            raise ValueError("operator object must expose n or n_points")
+        return CountingOperator(a.apply, int(dim))
+    if callable(a):
+        if n is None:
+            raise ValueError("dimension n required when wrapping a bare callable")
+        return CountingOperator(a, n)
+    raise TypeError(f"cannot interpret {type(a).__name__} as a linear operator")

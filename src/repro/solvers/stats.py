@@ -1,0 +1,80 @@
+"""Result records returned by the Krylov solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a (block) linear solve.
+
+    Attributes
+    ----------
+    solution:
+        ``(n,)`` or ``(n, s)`` solution array.
+    converged:
+        Whether the stopping criterion (relative residual) was met.
+    iterations:
+        Krylov iterations performed.
+    residual_norm:
+        Final relative residual (Frobenius over the block, Eq. 10).
+    residual_history:
+        Relative residual after each iteration (including iteration 0).
+    n_matvec:
+        Total operator applications, counted per column.
+    block_size:
+        Number of right-hand sides solved simultaneously.
+    breakdown:
+        True when a short-recurrence breakdown (singular small matrix) was
+        detected and the solver exited early.
+    """
+
+    solution: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norm: float
+    residual_history: list[float] = field(default_factory=list)
+    n_matvec: int = 0
+    block_size: int = 1
+    breakdown: bool = False
+
+    def __post_init__(self) -> None:
+        if self.iterations < 0:
+            raise ValueError("iterations must be non-negative")
+
+
+@dataclass
+class BlockSizeDecision:
+    """One probe step of the dynamic block-size selection (Algorithm 4)."""
+
+    block_size: int
+    columns: int
+    cost: float
+    accepted: bool
+
+
+@dataclass
+class DynamicSolveResult:
+    """Outcome of :func:`repro.solvers.block_size.solve_with_dynamic_block_size`.
+
+    ``block_size_counts`` maps block size -> number of block solves performed
+    at that size (the quantity tabulated in the paper's Table IV).
+    """
+
+    solution: np.ndarray
+    converged: bool
+    selected_block_size: int
+    block_size_counts: dict[int, int]
+    decisions: list[BlockSizeDecision]
+    chunk_results: list[SolveResult]
+    total_iterations: int
+    n_matvec: int
+
+    @property
+    def residual_norm(self) -> float:
+        if not self.chunk_results:
+            return 0.0
+        return max(r.residual_norm for r in self.chunk_results)

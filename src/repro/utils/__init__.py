@@ -1,0 +1,23 @@
+"""Shared utilities: deterministic RNG, structured timing, validation."""
+
+from repro.utils.rng import default_rng, spawn_rng
+from repro.utils.timing import KernelTimers, Timer
+from repro.utils.validation import (
+    check_complex_symmetric,
+    check_positive_definite,
+    check_square,
+    check_symmetric,
+    require,
+)
+
+__all__ = [
+    "default_rng",
+    "spawn_rng",
+    "Timer",
+    "KernelTimers",
+    "require",
+    "check_square",
+    "check_symmetric",
+    "check_complex_symmetric",
+    "check_positive_definite",
+]

@@ -1,0 +1,88 @@
+"""Structured wall-clock timing.
+
+The paper reports per-kernel timing breakdowns (Figure 5). ``KernelTimers``
+accumulates named wall-clock buckets; ``Timer`` is a context manager for a
+single region. The parallel runtime (``repro.parallel``) uses the same
+interface but charges *virtual* time instead; both satisfy the small
+``add(name, seconds)`` protocol.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class KernelTimers:
+    """Accumulator of named timing buckets (seconds).
+
+    Buckets mirror the paper's Figure 5 kernels: ``chi0_apply``, ``matmult``,
+    ``eigensolve``, ``eval_error`` — but arbitrary names are accepted.
+    """
+
+    buckets: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        if seconds < 0.0:
+            raise ValueError(f"negative duration for {name!r}: {seconds}")
+        self.buckets[name] = self.buckets.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def region(self, name: str) -> "_Region":
+        """Context manager that adds its elapsed time to bucket ``name``."""
+        return _Region(self, name)
+
+    def total(self) -> float:
+        return sum(self.buckets.values())
+
+    def get(self, name: str) -> float:
+        return self.buckets.get(name, 0.0)
+
+    def merge(self, other: "KernelTimers") -> None:
+        for name, seconds in other.buckets.items():
+            self.buckets[name] = self.buckets.get(name, 0.0) + seconds
+            self.counts[name] = self.counts.get(name, 0) + other.counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.buckets)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{k}={v:.3g}s" for k, v in sorted(self.buckets.items()))
+        return f"KernelTimers({parts})"
+
+
+class _Region:
+    def __init__(self, timers: KernelTimers, name: str) -> None:
+        self._timers = timers
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Region":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._timers.add(self._name, time.perf_counter() - self._start)

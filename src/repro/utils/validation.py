@@ -1,0 +1,46 @@
+"""Input validation helpers shared across the library.
+
+All public entry points validate shapes and structural properties early,
+raising ``ValueError`` with actionable messages rather than failing deep
+inside a kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_square(a: np.ndarray, name: str = "matrix") -> None:
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"{name} must be square 2-D, got shape {a.shape}")
+
+
+def check_symmetric(a: np.ndarray, name: str = "matrix", atol: float = 1e-10) -> None:
+    """Check real/Hermitian symmetry ``A == A.conj().T`` within ``atol``."""
+    check_square(a, name)
+    if not np.allclose(a, a.conj().T, atol=atol):
+        dev = float(np.abs(a - a.conj().T).max())
+        raise ValueError(f"{name} is not Hermitian/symmetric (max deviation {dev:.3e})")
+
+
+def check_complex_symmetric(a: np.ndarray, name: str = "matrix", atol: float = 1e-10) -> None:
+    """Check the *unconjugated* symmetry ``A == A.T`` the COCG solver requires."""
+    check_square(a, name)
+    if not np.allclose(a, a.T, atol=atol):
+        dev = float(np.abs(a - a.T).max())
+        raise ValueError(f"{name} is not complex symmetric (max deviation {dev:.3e})")
+
+
+def check_positive_definite(a: np.ndarray, name: str = "matrix") -> None:
+    """Check symmetric positive definiteness via Cholesky."""
+    check_symmetric(a, name)
+    try:
+        np.linalg.cholesky(a)
+    except np.linalg.LinAlgError as err:
+        raise ValueError(f"{name} is not positive definite") from err

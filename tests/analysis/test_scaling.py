@@ -1,0 +1,69 @@
+"""Tests for scaling fits and reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_power_law, format_table, parallel_efficiency, speedup
+
+
+class TestPowerLawFit:
+    def test_recovers_exact_exponent(self):
+        n = np.array([100, 200, 400, 800], dtype=float)
+        t = 3e-6 * n**2.9
+        alpha, c = fit_power_law(n, t)
+        assert alpha == pytest.approx(2.9, abs=1e-10)
+        assert c == pytest.approx(3e-6, rel=1e-8)
+
+    def test_robust_to_noise(self):
+        rng = np.random.default_rng(0)
+        n = np.geomspace(100, 10000, 12)
+        t = 1e-5 * n**3.0 * np.exp(rng.normal(0, 0.05, size=12))
+        alpha, _ = fit_power_law(n, t)
+        assert alpha == pytest.approx(3.0, abs=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, -2.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [1.0, 2.0, 3.0])
+
+
+class TestEfficiency:
+    def test_perfect_scaling(self):
+        p = np.array([1, 2, 4, 8])
+        t = 8.0 / p
+        assert np.allclose(parallel_efficiency(p, t), 1.0)
+
+    def test_relative_to_first_point(self):
+        # The paper's Figure 4 starts at 24 cores, not 1.
+        p = np.array([24, 48, 96])
+        t = np.array([10.0, 5.5, 3.2])
+        eff = parallel_efficiency(p, t)
+        assert eff[0] == 1.0
+        assert eff[1] == pytest.approx(10.0 / 11.0)
+
+    def test_speedup(self):
+        s = speedup([8.0, 4.0, 2.5])
+        assert np.allclose(s, [1.0, 2.0, 3.2])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            parallel_efficiency([1, 2], [1.0])
+        with pytest.raises(ValueError):
+            speedup([-1.0])
+
+
+class TestFormatTable:
+    def test_renders_headers_and_rows(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", 1e-6]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "1e-06" in out or "1.000e-06" in out
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [[123456]])
+        body = out.splitlines()
+        assert len(body[0]) == len(body[1]) == len(body[2])

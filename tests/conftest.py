@@ -1,0 +1,36 @@
+"""Session-wide fixtures: the tiny dense-verifiable model system."""
+
+import numpy as np
+import pytest
+
+from repro.dft import GaussianPseudopotential, run_scf
+from repro.dft.atoms import Crystal
+from repro.grid import CoulombOperator
+
+
+@pytest.fixture(scope="session")
+def toy_dft():
+    """4-electron model system on a 6^3 grid: dense-verifiable everywhere."""
+    crystal = Crystal(
+        ["X", "X"],
+        np.array([[1.0, 1.0, 1.0], [3.0, 3.0, 3.0]]),
+        (6.0, 6.0, 6.0),
+        label="toy",
+    )
+    grid = crystal.make_grid(1.0)
+    pseudos = {"X": GaussianPseudopotential("X", z_ion=2.0, r_core=0.9)}
+    return run_scf(crystal, grid, radius=2, tol=1e-8, max_iterations=80,
+                   gaussian_pseudos=pseudos)
+
+
+@pytest.fixture(scope="session")
+def toy_coulomb(toy_dft):
+    return CoulombOperator(toy_dft.grid, radius=2)
+
+
+@pytest.fixture(scope="session")
+def toy_dense_eigen(toy_dft):
+    import scipy.linalg
+
+    h = toy_dft.hamiltonian.to_dense()
+    return scipy.linalg.eigh(h)

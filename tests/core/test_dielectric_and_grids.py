@@ -1,0 +1,126 @@
+"""Tests for the dielectric diagnostics and alternative frequency grids."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Chi0Operator,
+    DielectricSpectrum,
+    dielectric_matrix_dense,
+    dielectric_spectrum,
+    double_exponential,
+    screened_interaction_dense,
+    transformed_clenshaw_curtis,
+    transformed_gauss_legendre,
+    truncated_trapezoid,
+)
+
+
+class TestDielectricDense:
+    def test_eigenvalues_at_least_one(self, toy_dft, toy_dense_eigen, toy_coulomb):
+        # epsilon = I - sym(chi0) with sym(chi0) <= 0 => eigenvalues >= 1.
+        vals, vecs = toy_dense_eigen
+        eps = dielectric_matrix_dense(vals, vecs, toy_dft.n_occupied, 0.3, toy_coulomb)
+        w = np.linalg.eigvalsh(eps)
+        assert w.min() > 1.0 - 1e-10
+
+    def test_screening_weakens_bare_interaction(self, toy_dft, toy_dense_eigen, toy_coulomb):
+        vals, vecs = toy_dense_eigen
+        eps = dielectric_matrix_dense(vals, vecs, toy_dft.n_occupied, 0.3, toy_coulomb)
+        W = screened_interaction_dense(eps, toy_coulomb)
+        nu = np.column_stack([toy_coulomb.apply_nu(e) for e in np.eye(eps.shape[0])])
+        nu = 0.5 * (nu + nu.T)
+        # 0 <= W <= nu in the Loewner order.
+        assert np.linalg.eigvalsh(W).min() > -1e-9
+        assert np.linalg.eigvalsh(nu - W).min() > -1e-9
+
+    def test_screening_strengthens_toward_static_limit(self, toy_dft, toy_dense_eigen,
+                                                       toy_coulomb):
+        vals, vecs = toy_dense_eigen
+        tops = []
+        for omega in (5.0, 0.5, 0.05):
+            eps = dielectric_matrix_dense(vals, vecs, toy_dft.n_occupied, omega,
+                                          toy_coulomb)
+            tops.append(np.linalg.eigvalsh(eps).max())
+        assert tops[0] < tops[1] < tops[2]
+
+
+class TestDielectricIterative:
+    @pytest.fixture(scope="class")
+    def spectrum(self, toy_dft, toy_coulomb):
+        op = Chi0Operator(toy_dft.hamiltonian, toy_dft.occupied_orbitals,
+                          toy_dft.occupied_energies, toy_coulomb, tol=1e-4)
+        return dielectric_spectrum(op, omega=0.3, n_eig=16, tol=1e-5, seed=0), op
+
+    def test_matches_dense_extremes(self, spectrum, toy_dft, toy_dense_eigen, toy_coulomb):
+        spec, _ = spectrum
+        vals, vecs = toy_dense_eigen
+        eps = dielectric_matrix_dense(vals, vecs, toy_dft.n_occupied, 0.3, toy_coulomb)
+        w = np.sort(np.linalg.eigvalsh(eps))[::-1]
+        assert spec.converged
+        assert np.allclose(spec.eigenvalues[:8], w[:8], atol=2e-3)
+
+    def test_energy_term_identity(self, spectrum):
+        # Tr[ln eps + (I - eps)] == Tr[ln(1 - mu) + mu].
+        spec, _ = spectrum
+        from repro.core import trace_from_eigenvalues
+
+        assert spec.energy_term() == pytest.approx(
+            trace_from_eigenvalues(spec.mu), rel=1e-12
+        )
+
+    def test_macroscopic_screening_is_top_eigenvalue(self, spectrum):
+        spec, _ = spectrum
+        assert spec.macroscopic_screening == pytest.approx(spec.eigenvalues.max())
+        assert spec.macroscopic_screening > 1.0
+
+    def test_validation(self, spectrum):
+        _, op = spectrum
+        with pytest.raises(ValueError):
+            dielectric_spectrum(op, omega=0.3, n_eig=0)
+        bad = DielectricSpectrum(0.3, np.array([-0.1, 2.0]), True, 1)
+        with pytest.raises(ValueError):
+            bad.energy_term()
+
+
+class TestAlternativeGrids:
+    def test_clenshaw_curtis_converges_to_lorentzian(self):
+        exact = np.pi / 2.0
+        errs = []
+        for n in (8, 16, 32):
+            q = transformed_clenshaw_curtis(n)
+            errs.append(abs(q.integrate(1.0 / (1.0 + q.points**2)) - exact))
+        assert errs[2] < errs[1] < errs[0]
+        assert errs[2] < 1e-6
+
+    def test_double_exponential_converges(self):
+        exact = np.pi / 2.0
+        q = double_exponential(24)
+        assert q.integrate(1.0 / (1.0 + q.points**2)) == pytest.approx(exact, abs=1e-6)
+
+    def test_gauss_beats_trapezoid_at_same_cost(self):
+        # The ablation's point: at 8 points the paper's rule is already
+        # accurate while the naive trapezoid misses the small-omega peak.
+        exact = np.pi / 2.0
+        gl = transformed_gauss_legendre(8)
+        tr = truncated_trapezoid(8)
+        err_gl = abs(gl.integrate(1.0 / (1.0 + gl.points**2)) - exact)
+        err_tr = abs(tr.integrate(1.0 / (1.0 + tr.points**2)) - exact)
+        assert err_gl < 1e-3 * err_tr
+
+    def test_all_rules_positive_nodes_and_weights(self):
+        for q in (transformed_clenshaw_curtis(12), double_exponential(12),
+                  truncated_trapezoid(12)):
+            assert np.all(q.points > 0)
+            assert np.all(q.weights > 0)
+            assert np.all(np.diff(q.points) < 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transformed_clenshaw_curtis(0)
+        with pytest.raises(ValueError):
+            double_exponential(2)
+        with pytest.raises(ValueError):
+            truncated_trapezoid(1)
+        with pytest.raises(ValueError):
+            truncated_trapezoid(4, omega_max=-1.0)

@@ -1,0 +1,77 @@
+"""Tests for the transformed Gauss-Legendre frequency quadrature (Table II)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PAPER_TABLE_II, transformed_gauss_legendre
+
+
+class TestTableII:
+    def test_points_match_paper(self):
+        # Table II prints 4 significant figures (2 for the smallest entry).
+        quad = transformed_gauss_legendre(8)
+        for ours, paper in zip(quad.points, PAPER_TABLE_II["points"]):
+            assert ours == pytest.approx(paper, rel=2e-3, abs=5e-4)
+
+    def test_weights_match_paper(self):
+        quad = transformed_gauss_legendre(8)
+        for ours, paper in zip(quad.weights, PAPER_TABLE_II["weights"]):
+            assert ours == pytest.approx(paper, rel=2e-3, abs=5e-4)
+
+    def test_descending_order(self):
+        quad = transformed_gauss_legendre(8)
+        assert np.all(np.diff(quad.points) < 0)
+        assert quad.points[-1] > 0
+
+    def test_unit_columns_match_paper_log(self):
+        # The artifact's Si8.out prints "0~1 value 0.020, weight 0.051" for
+        # omega_1 = 49.365.
+        quad = transformed_gauss_legendre(8)
+        assert quad.unit_points[0] == pytest.approx(0.020, abs=5e-4)
+        assert quad.unit_weights[0] == pytest.approx(0.051, abs=5e-4)
+        assert quad.unit_points[-1] == pytest.approx(0.980, abs=5e-4)
+
+    def test_successive_gaps_shrink_towards_zero(self):
+        # Section III-F: |omega_{k+1} - omega_k| -> 0 rapidly, which is what
+        # makes the warm start effective.
+        quad = transformed_gauss_legendre(8)
+        gaps = -np.diff(quad.points)
+        assert np.all(np.diff(gaps) < 0)
+
+
+class TestQuadratureAccuracy:
+    def test_exact_rational_integral(self):
+        # int_0^inf 1/(1+w)^4 dw = 1/3; the Moebius map makes the transformed
+        # integrand a polynomial in x, so Gauss-Legendre is exact.
+        quad = transformed_gauss_legendre(8)
+        vals = 1.0 / (1.0 + quad.points) ** 4
+        assert quad.integrate(vals) == pytest.approx(1.0 / 3.0, rel=1e-12)
+
+    def test_lorentzian_integral_converges(self):
+        # int_0^inf 1/(1+w^2) dw = pi/2 — the RPA integrand's prototype.
+        errors = []
+        for n in (4, 8, 16):
+            quad = transformed_gauss_legendre(n)
+            vals = 1.0 / (1.0 + quad.points**2)
+            errors.append(abs(quad.integrate(vals) - np.pi / 2.0))
+        assert errors[2] < errors[1] < errors[0]
+        assert errors[2] < 1e-6
+
+    def test_integrate_validates_shape(self):
+        quad = transformed_gauss_legendre(4)
+        with pytest.raises(ValueError):
+            quad.integrate(np.zeros(5))
+
+    def test_invalid_point_count(self):
+        with pytest.raises(ValueError):
+            transformed_gauss_legendre(0)
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(min_value=1, max_value=30))
+    def test_property_weights_positive(self, n):
+        quad = transformed_gauss_legendre(n)
+        assert np.all(quad.weights > 0)
+        assert np.all(quad.points > 0)
+        assert len(quad) == n

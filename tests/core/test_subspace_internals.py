@@ -1,0 +1,71 @@
+"""Edge-case tests for subspace-iteration internals and result containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.rpa_energy import OmegaPointResult
+from repro.core.subspace import _eq7_error, _filter_bounds
+from repro.utils.timing import KernelTimers
+
+
+class TestFilterBounds:
+    def test_ordering_invariant(self):
+        # low < cut < high must hold for any negative decaying spectrum.
+        for vals in (
+            np.array([-5.0, -1.0, -0.1]),
+            np.array([-1e-6, -1e-8, -1e-12]),  # everything almost zero
+            np.array([-3.0, -3.0, -3.0]),  # degenerate
+            np.array([-2.0, -1.0, 1e-15]),  # numerically zero top value
+        ):
+            low, cut, high = _filter_bounds(np.sort(vals))
+            assert low < cut < high
+
+    def test_cut_above_kept_ritz_values(self):
+        vals = np.array([-4.0, -2.0, -1.0])
+        low, cut, high = _filter_bounds(vals)
+        assert cut > vals[-1]
+        assert low < vals[0]
+        assert high > 0
+
+    def test_positive_contamination_handled(self):
+        # A slightly positive Ritz value (rounding) must not break ordering.
+        vals = np.array([-2.0, -0.5, 1e-9])
+        low, cut, high = _filter_bounds(vals)
+        assert low < cut < high
+
+
+class TestEq7Error:
+    def test_zero_for_exact_eigenpairs(self):
+        rng = np.random.default_rng(0)
+        n = 40
+        q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+        mu = -np.geomspace(2.0, 0.1, 6)
+        V = q[:, :6]
+        W = V * mu
+        err = _eq7_error(V, W, mu, KernelTimers())
+        assert err < 1e-14
+
+    def test_matches_formula(self):
+        rng = np.random.default_rng(1)
+        V = rng.standard_normal((30, 4))
+        W = rng.standard_normal((30, 4))
+        vals = np.array([-2.0, -1.0, -0.5, -0.1])
+        err = _eq7_error(V, W, vals, KernelTimers())
+        R = W - V * vals
+        expected = np.linalg.norm(R, axis=0).sum() / (4 * np.sqrt(np.sum(vals**2)))
+        assert err == pytest.approx(expected, rel=1e-12)
+
+    def test_zero_spectrum_edge(self):
+        V = np.zeros((10, 2))
+        vals = np.zeros(2)
+        assert _eq7_error(V, np.zeros((10, 2)), vals, KernelTimers()) == 0.0
+        assert _eq7_error(V, np.ones((10, 2)), vals, KernelTimers()) == np.inf
+
+
+class TestOmegaPointResult:
+    def test_energy_contribution(self):
+        p = OmegaPointResult(index=1, omega=0.69, weight=0.518, energy_term=-2.0,
+                             eigenvalues=np.array([-1.0]), filter_iterations=1,
+                             error=1e-4, converged=True, elapsed_seconds=0.1,
+                             skipped_filtering=False)
+        assert p.energy_contribution == pytest.approx(0.518 * -2.0 / (2 * np.pi))

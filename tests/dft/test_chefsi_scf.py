@@ -1,0 +1,33 @@
+"""SCF driven by the CheFSI eigensolver (the matrix-free production path)."""
+
+import numpy as np
+import pytest
+
+from repro.dft import run_scf, scaled_silicon_crystal
+
+
+@pytest.mark.slow
+class TestChefsiSCF:
+    def test_matches_dense_ground_state(self):
+        crystal, grid = scaled_silicon_crystal(1, points_per_edge=9,
+                                               perturbation=0.01, seed=11)
+        dense = run_scf(crystal, grid, radius=3, tol=1e-6, max_iterations=60,
+                        eigensolver="dense")
+        chefsi = run_scf(crystal, grid, radius=3, tol=1e-6, max_iterations=60,
+                         eigensolver="chefsi", seed=0)
+        assert dense.converged and chefsi.converged
+        assert np.allclose(chefsi.eigenvalues, dense.eigenvalues, atol=1e-5)
+        assert chefsi.energies["total_electronic"] == pytest.approx(
+            dense.energies["total_electronic"], abs=1e-4
+        )
+        # Densities agree pointwise.
+        assert np.abs(chefsi.density - dense.density).max() < 1e-4 * dense.density.max()
+
+    def test_chefsi_warm_start_across_scf_iterations(self):
+        # The orbital guess is threaded through SCF: later iterations must
+        # be cheap (few filtered iterations), visible as fast convergence.
+        crystal, grid = scaled_silicon_crystal(1, points_per_edge=7,
+                                               perturbation=0.02, seed=7)
+        res = run_scf(crystal, grid, radius=2, tol=1e-5, max_iterations=60,
+                      eigensolver="chefsi", smearing=0.02, seed=0)
+        assert res.converged

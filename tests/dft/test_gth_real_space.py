@@ -1,0 +1,82 @@
+"""Tests for the real-space GTH path (isolated systems, Dirichlet BCs)."""
+
+import numpy as np
+import pytest
+
+from repro.dft import (
+    GTH_LIBRARY,
+    build_nonlocal_projectors,
+    gth_real_space_local_potential,
+    run_scf,
+)
+from repro.dft.atoms import Crystal
+from repro.grid import Grid3D
+
+
+@pytest.fixture(scope="module")
+def si_atom_box():
+    crystal = Crystal(["Si"], np.array([[8.0, 8.0, 8.0]]), (16.0, 16.0, 16.0),
+                      label="Si-atom")
+    grid = Grid3D((13, 13, 13), (16.0, 16.0, 16.0), bc="dirichlet")
+    return crystal, grid
+
+
+class TestGTHRealSpacePotential:
+    def test_far_field_is_bare_coulomb(self, si_atom_box):
+        crystal, grid = si_atom_box
+        v = gth_real_space_local_potential(crystal, grid)
+        p = GTH_LIBRARY["Si"]
+        center = np.array([8.0, 8.0, 8.0])
+        r = np.linalg.norm(grid.points - center, axis=1)
+        far = r > 5.0
+        assert np.allclose(v[far], -p.z_ion / r[far], rtol=1e-6)
+
+    def test_value_at_nucleus(self, si_atom_box):
+        crystal, _ = si_atom_box
+        # Evaluate exactly at the atom via a grid point placed there.
+        grid = Grid3D((15, 15, 15), (16.0, 16.0, 16.0), bc="dirichlet")
+        v = gth_real_space_local_potential(crystal, grid)
+        p = GTH_LIBRARY["Si"]
+        expected = -p.z_ion * np.sqrt(2.0 / np.pi) / p.r_loc + p.c_local[0]
+        assert v[np.argmin(np.linalg.norm(grid.points - 8.0, axis=1))] == pytest.approx(
+            expected, rel=1e-6
+        )
+
+    def test_unknown_species(self, si_atom_box):
+        _, grid = si_atom_box
+        bad = Crystal(["Xx"], np.array([[8.0, 8.0, 8.0]]), (16.0, 16.0, 16.0))
+        with pytest.raises(KeyError):
+            gth_real_space_local_potential(bad, grid)
+
+
+class TestDirichletProjectors:
+    def test_no_wraparound_on_dirichlet(self):
+        # An atom near the cell face must NOT have projector weight on the
+        # opposite face when the grid is Dirichlet (no periodic images).
+        crystal = Crystal(["Si"], np.array([[1.0, 6.0, 6.0]]), (12.0, 12.0, 12.0))
+        grid_d = Grid3D((11, 11, 11), (12.0, 12.0, 12.0), bc="dirichlet")
+        grid_p = Grid3D((11, 11, 11), (12.0, 12.0, 12.0), bc="periodic")
+        nl_d = build_nonlocal_projectors(crystal, grid_d)
+        nl_p = build_nonlocal_projectors(crystal, grid_p)
+        dens_d = np.abs(nl_d.projectors.toarray()).sum(axis=1).reshape(grid_d.shape)
+        dens_p = np.abs(nl_p.projectors.toarray()).sum(axis=1).reshape(grid_p.shape)
+        # Periodic: weight wraps to the far-x face; Dirichlet: none.
+        assert dens_p[-1, :, :].sum() > 0
+        assert dens_d[-1, :, :].sum() == 0
+
+
+@pytest.mark.slow
+class TestIsolatedSiAtom:
+    def test_scf_converges_with_bound_p_shell(self, si_atom_box):
+        crystal, grid = si_atom_box
+        # 4 valence electrons: 3s^2 3p^2 — degenerate p shell needs smearing.
+        dft = run_scf(crystal, grid, radius=2, tol=1e-5, max_iterations=120,
+                      smearing=0.02, n_extra_states=6)
+        assert dft.converged
+        assert dft.occupations.sum() == pytest.approx(2.0, abs=1e-6)
+        # s below p, p roughly threefold degenerate.
+        eps = dft.eigenvalues
+        assert eps[0] < eps[1]
+        assert np.ptp(eps[1:4]) < 0.05
+        # Bound states: negative eigenvalues in the isolated-atom convention.
+        assert eps[0] < 0

@@ -1,0 +1,185 @@
+"""Tests for the Hamiltonian operator, eigensolvers and density machinery."""
+
+import numpy as np
+import pytest
+
+from repro.dft import (
+    ChebyshevFilteredSubspace,
+    Hamiltonian,
+    build_nonlocal_projectors,
+    chebyshev_filter,
+    check_orthonormal,
+    density_from_orbitals,
+    dense_lowest_eigenpairs,
+    electron_count,
+    fermi_dirac_occupations,
+    insulator_occupations,
+    local_potential_on_grid,
+    silicon_crystal,
+)
+from repro.dft.atoms import Crystal
+from repro.grid import Grid3D
+
+
+@pytest.fixture(scope="module")
+def si_setup():
+    crystal = silicon_crystal(1)
+    grid = crystal.make_grid(10.26 / 7)  # 7^3 = 343 points: fast
+    v_loc = local_potential_on_grid(crystal, grid)
+    nl = build_nonlocal_projectors(crystal, grid)
+    h = Hamiltonian(grid, v_loc, nl, radius=2)
+    return crystal, grid, h
+
+
+class TestHamiltonian:
+    def test_dense_matches_apply(self, si_setup):
+        _, grid, h = si_setup
+        rng = np.random.default_rng(0)
+        v = rng.standard_normal(grid.n_points)
+        dense = h.to_dense()
+        assert np.allclose(h.apply(v), dense @ v, atol=1e-10)
+
+    def test_dense_is_symmetric(self, si_setup):
+        _, _, h = si_setup
+        dense = h.to_dense()
+        assert np.allclose(dense, dense.T, atol=1e-10)
+
+    def test_block_apply_consistent(self, si_setup):
+        _, grid, h = si_setup
+        rng = np.random.default_rng(1)
+        V = rng.standard_normal((grid.n_points, 3))
+        block = h.apply(V)
+        cols = np.column_stack([h.apply(V[:, j]) for j in range(3)])
+        assert np.allclose(block, cols, atol=1e-12)
+
+    def test_shifted_operator_is_complex_symmetric(self, si_setup):
+        _, grid, h = si_setup
+        apply_a = h.shifted(lambda_j=0.3, omega=0.7)
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(grid.n_points) + 1j * rng.standard_normal(grid.n_points)
+        y = rng.standard_normal(grid.n_points) + 1j * rng.standard_normal(grid.n_points)
+        # Unconjugated symmetry: y^T (A x) == x^T (A y).
+        assert y @ apply_a(x) == pytest.approx(x @ apply_a(y), rel=1e-10)
+
+    def test_shifted_operator_spectrum(self, si_setup):
+        # Eq. 9: lambda(A_{j,k}) = lambda(H) - lambda_j + i omega_k.
+        _, _, h = si_setup
+        dense = h.to_dense()
+        lam_h = np.linalg.eigvalsh(dense)
+        lam_j, omega = lam_h[3], 0.4
+        n = dense.shape[0]
+        a = dense - lam_j * np.eye(n) + 1j * omega * np.eye(n)
+        lam_a = np.linalg.eigvals(a)
+        assert np.allclose(np.sort(lam_a.imag), np.full(n, omega), atol=1e-8)
+        assert np.allclose(np.sort(lam_a.real), lam_h - lam_j, atol=1e-6)
+
+    def test_potential_update(self, si_setup):
+        _, grid, h = si_setup
+        old = h.v_local.copy()
+        try:
+            h.update_potential(old + 1.0)
+            v = np.ones(grid.n_points)
+            shifted = h.apply(v)
+            h.update_potential(old)
+            base = h.apply(v)
+            assert np.allclose(shifted - base, 1.0, atol=1e-12)
+        finally:
+            h.update_potential(old)
+
+    def test_validation(self, si_setup):
+        _, grid, h = si_setup
+        with pytest.raises(ValueError):
+            Hamiltonian(grid, np.zeros(grid.n_points + 1))
+        with pytest.raises(ValueError):
+            h.update_potential(np.zeros(3))
+
+
+class TestEigensolvers:
+    def test_dense_eigenpairs_are_orthonormal(self, si_setup):
+        _, _, h = si_setup
+        vals, vecs = dense_lowest_eigenpairs(h, 10)
+        check_orthonormal(vecs)
+        assert np.all(np.diff(vals) >= -1e-10)
+
+    def test_chefsi_matches_dense(self, si_setup):
+        _, _, h = si_setup
+        n_states = 18
+        vals_ref, _ = dense_lowest_eigenpairs(h, n_states)
+        solver = ChebyshevFilteredSubspace(h, n_states, degree=12, tol=1e-8,
+                                           max_iterations=80, seed=0)
+        res = solver.solve()
+        assert res.converged
+        assert np.allclose(res.eigenvalues, vals_ref, atol=1e-5)
+
+    def test_chefsi_warm_start_converges_faster(self, si_setup):
+        _, _, h = si_setup
+        n_states = 12
+        solver = ChebyshevFilteredSubspace(h, n_states, degree=10, tol=1e-7, seed=0)
+        cold = solver.solve()
+        warm = solver.solve(v0=cold.orbitals)
+        assert warm.converged
+        assert warm.iterations <= cold.iterations
+
+    def test_chebyshev_filter_amplifies_wanted_interval(self):
+        # Filter a diagonal operator: components below the cut grow relative
+        # to components inside [cut, high].
+        n = 50
+        lam = np.linspace(-1.0, 9.0, n)
+        apply_h = lambda v: lam[:, None] * v if v.ndim == 2 else lam * v
+        v = np.ones(n)
+        y = chebyshev_filter(apply_h, v, degree=8, bound_low=-1.0, bound_cut=1.0, bound_high=9.0)
+        wanted = np.abs(y[lam < 1.0])
+        unwanted = np.abs(y[lam > 1.5])
+        assert wanted.min() > unwanted.max()
+
+    def test_chebyshev_filter_validation(self):
+        with pytest.raises(ValueError):
+            chebyshev_filter(lambda v: v, np.ones(3), 0, -1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            chebyshev_filter(lambda v: v, np.ones(3), 2, 1.0, 0.0, 2.0)
+
+    def test_dense_validation(self, si_setup):
+        _, _, h = si_setup
+        with pytest.raises(ValueError):
+            dense_lowest_eigenpairs(h, 0)
+
+
+class TestDensityAndOccupations:
+    def test_density_integrates_to_electron_count(self, si_setup):
+        _, grid, h = si_setup
+        vals, vecs = dense_lowest_eigenpairs(h, 16)
+        rho = density_from_orbitals(vecs, grid)
+        assert electron_count(rho, grid) == pytest.approx(32.0, rel=1e-10)
+
+    def test_insulator_occupations(self):
+        eps = np.array([0.3, -1.0, 0.1, 2.0])
+        g = insulator_occupations(eps, n_electrons=4)
+        assert np.array_equal(g, [0.0, 1.0, 1.0, 0.0])
+        with pytest.raises(ValueError):
+            insulator_occupations(eps, n_electrons=3)
+        with pytest.raises(ValueError):
+            insulator_occupations(eps, n_electrons=10)
+
+    def test_fermi_dirac_conserves_charge(self):
+        eps = np.linspace(-1.0, 1.0, 20)
+        occ, mu = fermi_dirac_occupations(eps, n_electrons=14, smearing=0.05)
+        assert 2.0 * occ.sum() == pytest.approx(14.0, abs=1e-8)
+        assert eps[0] < mu < eps[-1]
+
+    def test_fermi_dirac_zero_temperature_limit(self):
+        eps = np.linspace(-1.0, 1.0, 10)
+        occ, _ = fermi_dirac_occupations(eps, n_electrons=6, smearing=1e-4)
+        assert np.allclose(occ[:3], 1.0, atol=1e-6)
+        assert np.allclose(occ[3:], 0.0, atol=1e-6)
+
+    def test_check_orthonormal_raises(self):
+        bad = np.ones((5, 2))
+        with pytest.raises(ValueError):
+            check_orthonormal(bad)
+
+    def test_density_validation(self, si_setup):
+        _, grid, _ = si_setup
+        with pytest.raises(ValueError):
+            density_from_orbitals(np.zeros(grid.n_points), grid)
+        with pytest.raises(ValueError):
+            density_from_orbitals(np.zeros((grid.n_points, 2)), grid, occupations=np.array([2.0, 0.0]))

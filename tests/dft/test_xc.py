@@ -1,0 +1,68 @@
+"""Tests for the LDA exchange-correlation functional."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dft.xc import lda_exchange, lda_xc, pw92_correlation, xc_energy
+
+
+class TestExchange:
+    def test_known_value(self):
+        # eps_x(rho=1) = -(3/4)(3/pi)^{1/3}
+        eps, v = lda_exchange(np.array([1.0]))
+        assert eps[0] == pytest.approx(-(3.0 / 4.0) * (3.0 / np.pi) ** (1.0 / 3.0))
+        assert v[0] == pytest.approx(4.0 / 3.0 * eps[0])
+
+    def test_scaling_law(self):
+        # eps_x ~ rho^{1/3}
+        rho = np.array([0.5, 4.0])
+        eps, _ = lda_exchange(rho)
+        assert eps[1] / eps[0] == pytest.approx(8.0 ** (1.0 / 3.0))
+
+    def test_zero_density_is_finite(self):
+        eps, v = lda_exchange(np.array([0.0]))
+        assert np.isfinite(eps).all() and np.isfinite(v).all()
+
+
+class TestPW92:
+    def test_reference_values(self):
+        # Published eps_c at rs = 1, 2, 5 (Perdew & Wang 1992, zeta = 0).
+        for rs, ref in [(1.0, -0.0598), (2.0, -0.0448), (5.0, -0.0282)]:
+            rho = 3.0 / (4.0 * np.pi * rs**3)
+            eps, _ = pw92_correlation(np.array([rho]))
+            assert eps[0] == pytest.approx(ref, abs=2e-3)
+
+    def test_correlation_negative_and_smaller_than_exchange(self):
+        rho = np.logspace(-3, 1, 20)
+        ex, _ = lda_exchange(rho)
+        ec, _ = pw92_correlation(rho)
+        assert np.all(ec < 0)
+        assert np.all(np.abs(ec) < np.abs(ex))
+
+    def test_potential_via_finite_difference(self):
+        rho0 = 0.05
+        d = 1e-7
+        for fn in (lda_exchange, pw92_correlation):
+            em, _ = fn(np.array([rho0 - d]))
+            ep, _ = fn(np.array([rho0 + d]))
+            # v = d(rho * eps)/d rho
+            num = ((rho0 + d) * ep[0] - (rho0 - d) * em[0]) / (2 * d)
+            _, v = fn(np.array([rho0]))
+            assert v[0] == pytest.approx(num, rel=1e-5)
+
+
+class TestTotals:
+    def test_xc_energy_integral(self):
+        rho = np.full(10, 0.1)
+        eps, _ = lda_xc(rho)
+        assert xc_energy(rho, dv=0.5) == pytest.approx(0.5 * np.sum(rho * eps))
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.floats(min_value=1e-6, max_value=100.0))
+    def test_property_potential_more_negative_than_eps(self, rho):
+        # v_xc = eps + rho d eps/d rho and eps is increasing in rho (toward 0
+        # from below for exchange) => |v| > |eps| for LDA exchange.
+        eps, v = lda_exchange(np.array([rho]))
+        assert v[0] < eps[0] < 0

@@ -1,0 +1,134 @@
+"""Tests for the Coulomb operator nu = -4 pi (nabla^2)^{-1}."""
+
+import numpy as np
+import pytest
+
+from repro.grid import CoulombOperator, Grid3D, assemble_laplacian
+
+
+@pytest.fixture(params=["periodic", "dirichlet"])
+def setup(request):
+    grid = Grid3D((6, 5, 7), (3.0, 2.5, 3.5), bc=request.param)
+    nu = CoulombOperator(grid, radius=2)
+    return grid, nu
+
+
+def _zero_mean(grid, rng):
+    v = rng.standard_normal(grid.n_points)
+    return v - v.mean()
+
+
+class TestInverseConsistency:
+    def test_nu_inverts_scaled_laplacian(self, setup):
+        grid, nu = setup
+        rng = np.random.default_rng(0)
+        v = _zero_mean(grid, rng)
+        # nu (nu^{-1} v) = v on the zero-mean subspace.
+        assert np.allclose(nu.apply_nu(nu.apply_nu_inv(v)), v, atol=1e-9)
+
+    def test_poisson_residual(self, setup):
+        grid, nu = setup
+        rng = np.random.default_rng(1)
+        rho = _zero_mean(grid, rng)
+        phi = nu.solve_poisson(rho)
+        residual = -nu.apply_laplacian(phi) - 4.0 * np.pi * rho
+        if grid.bc == "periodic":
+            residual -= residual.mean()
+        assert np.abs(residual).max() < 1e-9
+
+    def test_against_dense_inverse(self, setup):
+        grid, nu = setup
+        rng = np.random.default_rng(2)
+        v = _zero_mean(grid, rng)
+        L = assemble_laplacian(grid, 2).toarray()
+        if grid.bc == "periodic":
+            # Pseudo-inverse handles the zero mode exactly as the projection does.
+            ref = -4.0 * np.pi * (np.linalg.pinv(L) @ v)
+        else:
+            ref = -4.0 * np.pi * np.linalg.solve(L, v)
+        assert np.allclose(nu.apply_nu(v), ref, atol=1e-8)
+
+
+class TestSquareRoot:
+    def test_sqrt_squares_to_nu(self, setup):
+        grid, nu = setup
+        rng = np.random.default_rng(3)
+        v = _zero_mean(grid, rng)
+        assert np.allclose(nu.apply_nu_sqrt(nu.apply_nu_sqrt(v)), nu.apply_nu(v), atol=1e-9)
+
+    def test_sqrt_positive_on_zero_mean(self, setup):
+        grid, nu = setup
+        rng = np.random.default_rng(4)
+        v = _zero_mean(grid, rng)
+        # <v, nu v> = ||nu^{1/2} v||^2 > 0: nu is SPD there.
+        quad = v @ nu.apply_nu(v)
+        norm = np.linalg.norm(nu.apply_nu_sqrt(v)) ** 2
+        assert quad == pytest.approx(norm, rel=1e-10)
+        assert quad > 0
+
+    def test_inv_sqrt_neg_laplacian(self, setup):
+        grid, nu = setup
+        rng = np.random.default_rng(5)
+        v = _zero_mean(grid, rng)
+        w = nu.apply_inv_sqrt_neg_laplacian(v)
+        # Applying twice gives (-L)^{-1} v = nu v / (4 pi).
+        w2 = nu.apply_inv_sqrt_neg_laplacian(w)
+        assert np.allclose(w2, nu.apply_nu(v) / (4 * np.pi), atol=1e-10)
+
+
+class TestZeroMode:
+    def test_periodic_projects_constants(self):
+        grid = Grid3D((6, 6, 6), (3.0, 3.0, 3.0), bc="periodic")
+        nu = CoulombOperator(grid, radius=2)
+        ones = np.ones(grid.n_points)
+        assert np.abs(nu.apply_nu(ones)).max() < 1e-10
+        assert np.abs(nu.apply_nu_sqrt(ones)).max() < 1e-10
+        assert nu.n_zero_modes == 1
+
+    def test_dirichlet_has_no_zero_mode(self):
+        grid = Grid3D((6, 6, 6), (3.0, 3.0, 3.0), bc="dirichlet")
+        nu = CoulombOperator(grid, radius=2)
+        assert nu.n_zero_modes == 0
+        ones = np.ones(grid.n_points)
+        assert np.abs(nu.apply_nu(ones)).max() > 0
+
+    def test_project_zero_mean(self):
+        grid = Grid3D((6, 6, 6), (3.0, 3.0, 3.0), bc="periodic")
+        nu = CoulombOperator(grid, radius=2)
+        rng = np.random.default_rng(6)
+        v = rng.standard_normal(grid.n_points) + 5.0
+        out = nu.project_zero_mean(v)
+        assert abs(out.mean()) < 1e-12
+        V = rng.standard_normal((grid.n_points, 3)) + 2.0
+        out = nu.project_zero_mean(V)
+        assert np.abs(out.mean(axis=0)).max() < 1e-12
+
+
+class TestBackends:
+    def test_fft_and_kronecker_agree_periodic(self):
+        grid = Grid3D((6, 5, 7), (3.0, 2.5, 3.5), bc="periodic")
+        rng = np.random.default_rng(7)
+        v = rng.standard_normal(grid.n_points)
+        a = CoulombOperator(grid, radius=2, backend="fft")
+        b = CoulombOperator(grid, radius=2, backend="kronecker")
+        assert np.allclose(a.apply_nu(v), b.apply_nu(v), atol=1e-8)
+        assert np.allclose(a.apply_nu_sqrt(v), b.apply_nu_sqrt(v), atol=1e-8)
+
+    def test_unknown_backend_rejected(self):
+        grid = Grid3D((6, 5, 7), (3.0, 2.5, 3.5))
+        with pytest.raises(ValueError):
+            CoulombOperator(grid, backend="scalapack")
+
+    def test_block_apply(self):
+        grid = Grid3D((6, 5, 7), (3.0, 2.5, 3.5))
+        nu = CoulombOperator(grid, radius=2)
+        rng = np.random.default_rng(8)
+        V = rng.standard_normal((grid.n_points, 4))
+        block = nu.apply_nu(V)
+        cols = np.column_stack([nu.apply_nu(V[:, j]) for j in range(4)])
+        assert np.allclose(block, cols, atol=1e-11)
+
+    def test_nu_eigenvalues_nonnegative(self):
+        grid = Grid3D((6, 5, 7), (3.0, 2.5, 3.5))
+        nu = CoulombOperator(grid, radius=2)
+        assert nu.nu_eigenvalues.min() >= 0.0

@@ -1,0 +1,99 @@
+"""Tests for finite-difference coefficient generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.fd_coefficients import fornberg_weights, second_derivative_coefficients
+
+
+class TestClosedForm:
+    def test_radius_one_is_classic_three_point(self):
+        c = second_derivative_coefficients(1)
+        assert np.allclose(c, [-2.0, 1.0])
+
+    def test_radius_two_matches_known_weights(self):
+        c = second_derivative_coefficients(2)
+        assert np.allclose(c, [-5.0 / 2.0, 4.0 / 3.0, -1.0 / 12.0])
+
+    def test_radius_three_matches_known_weights(self):
+        c = second_derivative_coefficients(3)
+        assert np.allclose(c, [-49.0 / 18.0, 3.0 / 2.0, -3.0 / 20.0, 1.0 / 90.0])
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(ValueError):
+            second_derivative_coefficients(0)
+
+    @pytest.mark.parametrize("radius", [1, 2, 3, 4, 5, 6, 8])
+    def test_weights_sum_to_zero(self, radius):
+        # A second-derivative stencil must annihilate constants.
+        c = second_derivative_coefficients(radius)
+        total = c[0] + 2.0 * c[1:].sum()
+        assert abs(total) < 1e-12
+
+    @pytest.mark.parametrize("radius", [1, 2, 3, 4, 5, 6])
+    def test_exact_on_low_degree_polynomials(self, radius):
+        # Order-2r stencils differentiate x^p exactly for p <= 2r + 1.
+        h = 0.1
+        offsets = np.arange(-radius, radius + 1)
+        c = second_derivative_coefficients(radius)
+        full = np.concatenate([c[:0:-1], c])  # c_r .. c_1 c_0 c_1 .. c_r
+        for p in range(0, 2 * radius + 2):
+            vals = (offsets * h) ** p
+            approx = full @ vals / h**2
+            exact = p * (p - 1) * 0.0 ** max(p - 2, 0) if p >= 2 else 0.0
+            if p == 2:
+                exact = 2.0
+            assert approx == pytest.approx(exact, abs=1e-8 / h**2 * 1e-6 + 1e-9)
+
+    @pytest.mark.parametrize("radius", [1, 2, 3, 4, 5, 7])
+    def test_matches_fornberg(self, radius):
+        offsets = np.arange(-radius, radius + 1, dtype=float)
+        w = fornberg_weights(0.0, offsets, 2)
+        c = second_derivative_coefficients(radius)
+        full = np.concatenate([c[:0:-1], c])
+        assert np.allclose(w, full, atol=1e-12)
+
+
+class TestFornberg:
+    def test_first_derivative_central(self):
+        w = fornberg_weights(0.0, np.array([-1.0, 0.0, 1.0]), 1)
+        assert np.allclose(w, [-0.5, 0.0, 0.5])
+
+    def test_interpolation_weights(self):
+        # Zeroth derivative at a node is the indicator of that node.
+        w = fornberg_weights(1.0, np.array([0.0, 1.0, 2.0]), 0)
+        assert np.allclose(w, [0.0, 1.0, 0.0])
+
+    def test_one_sided_second_derivative(self):
+        w = fornberg_weights(0.0, np.array([0.0, 1.0, 2.0, 3.0]), 2)
+        assert np.allclose(w, [2.0, -5.0, 4.0, -1.0])
+
+    def test_rejects_insufficient_nodes(self):
+        with pytest.raises(ValueError):
+            fornberg_weights(0.0, np.array([0.0, 1.0]), 2)
+
+    def test_rejects_negative_order(self):
+        with pytest.raises(ValueError):
+            fornberg_weights(0.0, np.array([0.0, 1.0]), -1)
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        n=st.integers(min_value=4, max_value=9),
+        order=st.integers(min_value=0, max_value=2),
+    )
+    def test_exactness_on_polynomials_property(self, n, order):
+        # Weights from n nodes must differentiate polynomials of degree < n exactly.
+        rng = np.random.default_rng(n * 100 + order)
+        x = np.sort(rng.uniform(-1.0, 1.0, size=n))
+        if np.min(np.diff(x)) < 1e-3:
+            return
+        w = fornberg_weights(0.0, x, order)
+        for p in range(n):
+            coeffs = np.zeros(p + 1)
+            coeffs[-1] = 1.0  # x^p
+            poly = np.polynomial.Polynomial(coeffs[::-1] * 0 + np.eye(p + 1)[p])
+            vals = x**p
+            exact = poly.deriv(order)(0.0) if order <= p else 0.0
+            assert w @ vals == pytest.approx(exact, abs=1e-6)

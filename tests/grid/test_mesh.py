@@ -1,0 +1,92 @@
+"""Tests for the Grid3D mesh geometry and layout conventions."""
+
+import numpy as np
+import pytest
+
+from repro.grid import Grid3D
+
+
+@pytest.fixture
+def grid():
+    return Grid3D(shape=(4, 5, 6), lengths=(2.0, 2.5, 3.0), bc="periodic")
+
+
+class TestConstruction:
+    def test_basic_properties(self, grid):
+        assert grid.n_points == 120
+        assert grid.dv == pytest.approx(0.5**3)
+        assert grid.volume == pytest.approx(15.0)
+
+    def test_periodic_spacing(self, grid):
+        assert grid.spacing == pytest.approx((0.5, 0.5, 0.5))
+
+    def test_dirichlet_spacing_excludes_boundary(self):
+        g = Grid3D(shape=(4, 4, 4), lengths=(5.0, 5.0, 5.0), bc="dirichlet")
+        assert g.spacing[0] == pytest.approx(1.0)
+        assert g.axis_coords(0)[0] == pytest.approx(1.0)
+        assert g.axis_coords(0)[-1] == pytest.approx(4.0)
+
+    def test_periodic_coords_start_at_origin(self, grid):
+        assert grid.axis_coords(0)[0] == 0.0
+        assert grid.axis_coords(0)[-1] == pytest.approx(2.0 - 0.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shape": (1, 4, 4), "lengths": (1.0, 1.0, 1.0)},
+            {"shape": (4, 4), "lengths": (1.0, 1.0, 1.0)},
+            {"shape": (4, 4, 4), "lengths": (1.0, -1.0, 1.0)},
+            {"shape": (4, 4, 4), "lengths": (1.0, 1.0, 1.0), "bc": "neumann"},
+        ],
+    )
+    def test_invalid_inputs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Grid3D(**kwargs)
+
+
+class TestLayout:
+    def test_field_vector_round_trip(self, grid):
+        rng = np.random.default_rng(0)
+        v = rng.standard_normal(grid.n_points)
+        assert np.array_equal(grid.to_vector(grid.to_field(v)), v)
+
+    def test_block_round_trip(self, grid):
+        rng = np.random.default_rng(1)
+        v = rng.standard_normal((grid.n_points, 3))
+        assert np.array_equal(grid.to_vector(grid.to_field(v)), v)
+
+    def test_c_order_convention(self, grid):
+        # Vector index i maps to (ix, iy, iz) with z fastest.
+        v = np.arange(grid.n_points, dtype=float)
+        f = grid.to_field(v)
+        nx, ny, nz = grid.shape
+        assert f[0, 0, 1] == 1.0
+        assert f[0, 1, 0] == nz
+        assert f[1, 0, 0] == ny * nz
+
+    def test_points_match_axis_coords(self, grid):
+        pts = grid.points
+        f = grid.to_field(pts[:, 2])
+        assert np.allclose(f[0, 0, :], grid.axis_coords(2))
+
+    def test_shape_mismatch_rejected(self, grid):
+        with pytest.raises(ValueError):
+            grid.to_field(np.zeros(7))
+        with pytest.raises(ValueError):
+            grid.to_vector(np.zeros((2, 2, 2)))
+
+    def test_integrate_constant(self, grid):
+        ones = np.ones(grid.n_points)
+        assert grid.integrate(ones) == pytest.approx(grid.volume)
+
+
+class TestWavevectors:
+    def test_dc_mode_first(self, grid):
+        k = grid.wavevectors(0)
+        assert k[0] == 0.0
+        assert len(k) == grid.shape[0]
+
+    def test_dirichlet_has_no_wavevectors(self):
+        g = Grid3D(shape=(4, 4, 4), lengths=(1.0, 1.0, 1.0), bc="dirichlet")
+        with pytest.raises(ValueError):
+            g.wavevectors(0)

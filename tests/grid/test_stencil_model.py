@@ -1,0 +1,55 @@
+"""Tests for the arithmetic-intensity performance model (Eqs. 11-12)."""
+
+import pytest
+
+from repro.grid.stencil import max_block_edge, stencil_arithmetic_intensity
+
+
+class TestArithmeticIntensity:
+    def test_matches_closed_form_cube(self):
+        # For m = n = k the model reduces to (6r+1) m / (m + 3r).
+        for m in (4, 8, 16):
+            for r in (1, 2, 4, 6):
+                ai = stencil_arithmetic_intensity(m, m, m, r)
+                assert ai == pytest.approx((6 * r + 1) * m / (m + 3 * r))
+
+    def test_independent_of_vector_count(self):
+        # Eq. 12: for a fixed block shape the AI does not change with s...
+        a = stencil_arithmetic_intensity(8, 8, 8, 4, n_vectors=1)
+        b = stencil_arithmetic_intensity(8, 8, 8, 4, n_vectors=8)
+        assert a == pytest.approx(b)
+
+    def test_single_vector_wins_under_cache_budget(self):
+        # ...but with s vectors resident, the feasible block edge shrinks, so
+        # the achievable AI drops — the paper's one-vector-at-a-time argument.
+        cache = 32 * 1024  # words
+        r = 4
+        m1 = max_block_edge(cache, r, n_vectors=1)
+        m8 = max_block_edge(cache, r, n_vectors=8)
+        assert m8 < m1
+        ai1 = stencil_arithmetic_intensity(m1, m1, m1, r, 1)
+        ai8 = stencil_arithmetic_intensity(m8, m8, m8, r, 8)
+        assert ai1 > ai8
+
+    def test_ai_monotone_in_block_edge(self):
+        prev = 0.0
+        for m in range(2, 40):
+            ai = stencil_arithmetic_intensity(m, m, m, 4)
+            assert ai > prev
+            prev = ai
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            stencil_arithmetic_intensity(0, 4, 4, 2)
+        with pytest.raises(ValueError):
+            stencil_arithmetic_intensity(4, 4, 4, 0)
+        with pytest.raises(ValueError):
+            max_block_edge(0, 2)
+
+    def test_block_edge_respects_budget(self):
+        cache = 10_000
+        r = 3
+        for s in (1, 2, 4):
+            m = max_block_edge(cache, r, s)
+            assert s * (2 * m**3 + 6 * r * m**2) <= cache
+            assert s * (2 * (m + 1) ** 3 + 6 * r * (m + 1) ** 2) > cache

@@ -1,0 +1,56 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import build_system, main
+
+
+class TestBuildSystem:
+    def test_toy(self):
+        crystal, grid, kwargs, n_eig = build_system("toy")
+        assert crystal.n_atoms == 2
+        assert grid.n_points == 216
+        assert "gaussian_pseudos" in kwargs
+
+    def test_paper_silicon(self):
+        crystal, grid, _, n_eig = build_system("si16")
+        assert crystal.n_atoms == 16
+        assert grid.n_points == 6750  # Table III
+        assert n_eig == 96 * 16  # Table I
+
+    def test_scaled_silicon(self):
+        crystal, grid, _, n_eig = build_system("si8-scaled")
+        assert crystal.n_atoms == 8
+        assert grid.n_points == 729
+
+    @pytest.mark.parametrize("bad", ["si7", "si48", "si9-scaled", "water"])
+    def test_unknown_systems(self, bad):
+        with pytest.raises(ValueError):
+            build_system(bad)
+
+
+class TestMain:
+    def test_toy_run_writes_artifact_log(self, tmp_path, capsys):
+        out = tmp_path / "toy.out"
+        rc = main(["--system", "toy", "--n-eig", "24", "--output", str(out)])
+        assert rc == 0
+        text = out.read_text()
+        assert "RPA Parallelization" in text
+        assert "Total RPA correlation energy" in text
+        assert "Total walltime" in text
+
+    def test_input_file_drives_config(self, tmp_path, capsys):
+        rpa = tmp_path / "toy.rpa"
+        rpa.write_text("N_NUCHI_EIGS: 16\nN_OMEGA: 2\nTOL_STERN_RES: 1e-2\n")
+        out = tmp_path / "toy.out"
+        rc = main(["--system", "toy", "--input", str(rpa), "--output", str(out)])
+        assert rc == 0
+        # Two omega blocks only.
+        assert out.read_text().count("0~1 value") == 2
+
+    def test_simulated_ranks_path(self, capsys):
+        rc = main(["--system", "toy", "--n-eig", "16", "--ranks", "4"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "Total RPA correlation energy" in captured.out
+        assert "simulated walltime" in captured.err

@@ -1,0 +1,44 @@
+"""Property-based round-trip tests for the artifact input format."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RPAConfig
+from repro.io import dump_rpa_config, load_rpa_config
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    n_eig=st.integers(min_value=1, max_value=5000),
+    n_omega=st.integers(min_value=1, max_value=16),
+    tol_stern=st.floats(min_value=1e-8, max_value=0.5),
+    maxit=st.integers(min_value=1, max_value=50),
+    degree=st.integers(min_value=1, max_value=8),
+    galerkin=st.booleans(),
+    n_tols=st.integers(min_value=1, max_value=8),
+    tol_exponent=st.integers(min_value=-6, max_value=-1),
+)
+def test_property_dump_load_round_trip(n_eig, n_omega, tol_stern, maxit, degree,
+                                       galerkin, n_tols, tol_exponent):
+    tols = tuple(10.0 ** (tol_exponent - i % 3) for i in range(n_tols))
+    cfg = RPAConfig(
+        n_eig=n_eig,
+        n_quadrature=n_omega,
+        tol_subspace=tols,
+        tol_sternheimer=tol_stern,
+        max_filter_iterations=maxit,
+        filter_degree=degree,
+        use_galerkin_guess=galerkin,
+    )
+    text = dump_rpa_config(cfg)
+    back = load_rpa_config(text=text)
+    assert back.n_eig == cfg.n_eig
+    assert back.n_quadrature == cfg.n_quadrature
+    assert back.max_filter_iterations == cfg.max_filter_iterations
+    assert back.filter_degree == cfg.filter_degree
+    assert back.use_galerkin_guess == cfg.use_galerkin_guess
+    # Tolerances survive the %g formatting round trip.
+    assert len(back.tol_subspace) == len(cfg.tol_subspace)
+    for a, b in zip(back.tol_subspace, cfg.tol_subspace):
+        assert abs(a - b) <= 1e-5 * abs(b)  # %g keeps 6 significant digits
+    assert abs(back.tol_sternheimer - cfg.tol_sternheimer) <= 1e-5 * cfg.tol_sternheimer

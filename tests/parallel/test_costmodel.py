@@ -1,0 +1,85 @@
+"""Tests for the Hockney communication model and kernel-efficiency curves."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    PACE_PHOENIX,
+    MachineProfile,
+    allgather_time,
+    allreduce_time,
+    eigensolve_parallel_time,
+    matmult_parallel_time,
+    p2p_time,
+    redistribution_time,
+)
+
+
+class TestHockney:
+    def test_p2p_components(self):
+        m = PACE_PHOENIX
+        assert p2p_time(m, 0) == m.latency
+        assert p2p_time(m, 1e9) == pytest.approx(m.latency + 1e9 * m.inv_bandwidth)
+
+    def test_allreduce_zero_for_single_rank(self):
+        assert allreduce_time(PACE_PHOENIX, 1e6, 1) == 0.0
+        assert allgather_time(PACE_PHOENIX, 1e6, 1) == 0.0
+        assert redistribution_time(PACE_PHOENIX, 1e6, 1) == 0.0
+
+    def test_allreduce_grows_logarithmically(self):
+        m = PACE_PHOENIX
+        # latency-dominated regime: t(p) ~ 2 log2(p) alpha
+        t4 = allreduce_time(m, 8, 4)
+        t16 = allreduce_time(m, 8, 16)
+        assert t16 / t4 == pytest.approx(2.0, rel=0.05)
+
+    def test_allgather_linear_in_ranks(self):
+        m = PACE_PHOENIX
+        t2 = allgather_time(m, 1e6, 2)
+        t8 = allgather_time(m, 1e6, 8)
+        assert t8 / t2 == pytest.approx(7.0, rel=0.05)
+
+    def test_redistribution_volume_saturates(self):
+        # Per-rank payload tends to total/p as p grows: larger p costs more
+        # latency but moves less per rank.
+        m = PACE_PHOENIX
+        big = 1e9
+        t2 = redistribution_time(m, big, 2)
+        t64 = redistribution_time(m, big, 64)
+        assert t64 < t2  # bandwidth-dominated at this size
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            p2p_time(PACE_PHOENIX, -1)
+        with pytest.raises(ValueError):
+            allreduce_time(PACE_PHOENIX, 8, 0)
+        with pytest.raises(ValueError):
+            MachineProfile("bad", 0, 1e-6, 1e-10, 10, 0.1)
+        with pytest.raises(ValueError):
+            MachineProfile("bad", 4, 1e-6, 1e-10, 10, 1.5)
+
+
+class TestKernelEfficiency:
+    def test_matmult_amdahl_limit(self):
+        m = PACE_PHOENIX
+        t1 = matmult_parallel_time(m, 10.0, 1)
+        t_inf = matmult_parallel_time(m, 10.0, 10**6)
+        assert t1 == pytest.approx(10.0)
+        assert t_inf == pytest.approx(10.0 * m.matmult_serial_fraction, rel=1e-3)
+
+    def test_matmult_monotone(self):
+        m = PACE_PHOENIX
+        ts = [matmult_parallel_time(m, 5.0, p) for p in (1, 2, 4, 8, 16)]
+        assert all(a > b for a, b in zip(ts, ts[1:]))
+
+    def test_eigensolve_saturates(self):
+        m = PACE_PHOENIX
+        t_at_sat = eigensolve_parallel_time(m, 4.0, m.eigensolve_saturation)
+        t_beyond = eigensolve_parallel_time(m, 4.0, 8 * m.eigensolve_saturation)
+        assert t_beyond == pytest.approx(t_at_sat)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            matmult_parallel_time(PACE_PHOENIX, -1.0, 2)
+        with pytest.raises(ValueError):
+            eigensolve_parallel_time(PACE_PHOENIX, 1.0, 0)

@@ -1,0 +1,99 @@
+"""Tests for the manager-worker scheduling extension (paper Section V)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Chi0Operator
+from repro.parallel import (
+    Chi0WorkloadProfiler,
+    WorkItem,
+    list_schedule_makespan,
+    static_block_column_makespan,
+)
+
+
+class TestListScheduling:
+    def test_single_worker_is_sum(self):
+        assert list_schedule_makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_perfectly_divisible(self):
+        assert list_schedule_makespan([1.0] * 8, 4) == pytest.approx(2.0)
+
+    def test_lpt_beats_fifo_on_adversarial_order(self):
+        # Small jobs first leaves the big job at the end: FIFO is bad.
+        durations = [1.0] * 6 + [6.0]
+        fifo = list_schedule_makespan(durations, 3, lpt=False)
+        lpt = list_schedule_makespan(durations, 3, lpt=True)
+        assert lpt <= fifo
+        assert lpt == pytest.approx(6.0)
+
+    def test_empty(self):
+        assert list_schedule_makespan([], 4) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list_schedule_makespan([1.0], 0)
+        with pytest.raises(ValueError):
+            list_schedule_makespan([-1.0], 2)
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        durations=st.lists(st.floats(min_value=0.0, max_value=10.0),
+                           min_size=1, max_size=40),
+        p=st.integers(min_value=1, max_value=8),
+    )
+    def test_property_makespan_bounds(self, durations, p):
+        ms = list_schedule_makespan(durations, p)
+        total, longest = sum(durations), max(durations)
+        # Classic list-scheduling bounds.
+        assert ms >= max(total / p, longest) - 1e-9
+        assert ms <= total + 1e-9
+        # Graham: list scheduling <= 2 * OPT <= 2 * max(total/p, longest).
+        assert ms <= 2.0 * max(total / p, longest) + 1e-9
+
+
+class TestStaticMakespan:
+    def test_charges_column_owner(self):
+        items = [
+            WorkItem(0, (0, 2), 1.0),
+            WorkItem(0, (2, 4), 5.0),
+            WorkItem(1, (0, 2), 2.0),
+            WorkItem(1, (2, 4), 1.0),
+        ]
+        # p = 2 over 4 columns: rank 0 owns 0..1, rank 1 owns 2..3.
+        ms = static_block_column_makespan(items, n_cols=4, p=2)
+        assert ms == pytest.approx(6.0)  # rank 1: 5 + 1
+
+    def test_item_validation(self):
+        with pytest.raises(ValueError):
+            WorkItem(0, (2, 2), 1.0)
+        with pytest.raises(ValueError):
+            WorkItem(0, (0, 1), -1.0)
+
+
+class TestProfilerIntegration:
+    def test_compare_schedules_on_toy(self, toy_dft, toy_coulomb):
+        op = Chi0Operator(toy_dft.hamiltonian, toy_dft.occupied_orbitals,
+                          toy_dft.occupied_energies, toy_coulomb,
+                          tol=1e-3, dynamic_block_size=False)
+        prof = Chi0WorkloadProfiler(op, chunk=4)
+        rng = np.random.default_rng(0)
+        V = rng.standard_normal((toy_dft.grid.n_points, 16))
+        cmp = prof.compare_schedules(V, omega=0.3, p=4)
+        assert cmp.n_items == toy_dft.n_occupied * 4
+        # Hierarchy: ideal <= dynamic <= static (dynamic can't be worse than
+        # any fixed assignment of the same items on the same workers).
+        assert cmp.ideal_makespan <= cmp.dynamic_makespan + 1e-9
+        assert cmp.dynamic_makespan <= cmp.static_makespan * 1.001 + 1e-9
+        assert 0.0 <= cmp.improvement <= 1.0
+
+    def test_profiler_validation(self, toy_dft, toy_coulomb):
+        op = Chi0Operator(toy_dft.hamiltonian, toy_dft.occupied_orbitals,
+                          toy_dft.occupied_energies, toy_coulomb)
+        with pytest.raises(ValueError):
+            Chi0WorkloadProfiler(op, chunk=0)
+        prof = Chi0WorkloadProfiler(op)
+        with pytest.raises(ValueError):
+            prof.measure(np.zeros(5), omega=0.3)

@@ -1,0 +1,85 @@
+"""Tests for the process-pool Sternheimer backend."""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core import Chi0Operator
+from repro.parallel import ProcessChi0Operator
+
+pytestmark = pytest.mark.skipif(
+    not sys.platform.startswith("linux"),
+    reason="process backend requires the fork start method",
+)
+
+
+@pytest.fixture(scope="module")
+def operators(toy_dft, toy_coulomb):
+    kwargs = dict(tol=1e-8, max_iterations=2000, dynamic_block_size=False)
+    serial = Chi0Operator(toy_dft.hamiltonian, toy_dft.occupied_orbitals,
+                          toy_dft.occupied_energies, toy_coulomb, **kwargs)
+    proc = ProcessChi0Operator(toy_dft.hamiltonian, toy_dft.occupied_orbitals,
+                               toy_dft.occupied_energies, toy_coulomb,
+                               n_workers=2, **kwargs)
+    yield serial, proc
+    proc.close()
+
+
+class TestProcessBackend:
+    def test_bit_identical_to_serial(self, operators, toy_dft):
+        serial, proc = operators
+        rng = np.random.default_rng(1)
+        V = rng.standard_normal((toy_dft.grid.n_points, 4))
+        a = serial.apply_chi0(V, 0.5)
+        b = proc.apply_chi0(V, 0.5)
+        assert np.array_equal(a, b)
+
+    def test_single_vector(self, operators, toy_dft):
+        serial, proc = operators
+        rng = np.random.default_rng(2)
+        v = rng.standard_normal(toy_dft.grid.n_points)
+        assert np.array_equal(serial.apply_chi0(v, 0.7), proc.apply_chi0(v, 0.7))
+
+    def test_stats_deterministic(self, toy_dft, toy_coulomb):
+        kwargs = dict(tol=1e-6, dynamic_block_size=False)
+        counts = []
+        for workers in (1, 3):
+            op = ProcessChi0Operator(toy_dft.hamiltonian, toy_dft.occupied_orbitals,
+                                     toy_dft.occupied_energies, toy_coulomb,
+                                     n_workers=workers, **kwargs)
+            rng = np.random.default_rng(3)
+            V = rng.standard_normal((toy_dft.grid.n_points, 3))
+            op.apply_chi0(V, 0.4)
+            counts.append((op.stats.n_systems, op.stats.total_iterations,
+                           op.stats.n_matvec))
+            op.close()
+        assert counts[0] == counts[1]
+
+    def test_pool_reused_across_applies(self, operators, toy_dft):
+        _, proc = operators
+        rng = np.random.default_rng(4)
+        v = rng.standard_normal(toy_dft.grid.n_points)
+        proc.apply_chi0(v, 0.5)
+        pool_a = proc._pool
+        proc.apply_chi0(v, 0.6)
+        assert proc._pool is pool_a
+
+    def test_context_manager_closes(self, toy_dft, toy_coulomb):
+        with ProcessChi0Operator(toy_dft.hamiltonian, toy_dft.occupied_orbitals,
+                                 toy_dft.occupied_energies, toy_coulomb,
+                                 n_workers=2, tol=1e-4) as op:
+            v = np.random.default_rng(5).standard_normal(toy_dft.grid.n_points)
+            op.apply_chi0(v, 0.5)
+            assert op._pool is not None
+        assert op._pool is None
+
+    def test_validation(self, toy_dft, toy_coulomb):
+        with pytest.raises(ValueError):
+            ProcessChi0Operator(toy_dft.hamiltonian, toy_dft.occupied_orbitals,
+                                toy_dft.occupied_energies, toy_coulomb, n_workers=0)
+        op = ProcessChi0Operator(toy_dft.hamiltonian, toy_dft.occupied_orbitals,
+                                 toy_dft.occupied_energies, toy_coulomb, n_workers=2)
+        with pytest.raises(ValueError):
+            op.apply_chi0(np.ones(toy_dft.grid.n_points), omega=0.0)
+        op.close()

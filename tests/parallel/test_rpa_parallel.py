@@ -1,0 +1,135 @@
+"""Tests for the simulated distributed RPA driver and the threaded backend."""
+
+import numpy as np
+import pytest
+
+from repro.config import RPAConfig
+from repro.core import Chi0Operator, compute_rpa_energy
+from repro.dft import GaussianPseudopotential, run_scf
+from repro.dft.atoms import Crystal
+from repro.grid import CoulombOperator
+from repro.parallel import ThreadedChi0Operator, compute_rpa_energy_parallel
+
+
+@pytest.fixture(scope="module")
+def toy_dft():
+    crystal = Crystal(
+        ["X", "X"],
+        np.array([[1.0, 1.0, 1.0], [3.0, 3.0, 3.0]]),
+        (6.0, 6.0, 6.0),
+        label="toy",
+    )
+    grid = crystal.make_grid(1.0)
+    pseudos = {"X": GaussianPseudopotential("X", z_ion=2.0, r_core=0.9)}
+    return run_scf(crystal, grid, radius=2, tol=1e-8, max_iterations=80,
+                   gaussian_pseudos=pseudos)
+
+
+@pytest.fixture(scope="module")
+def toy_coulomb(toy_dft):
+    return CoulombOperator(toy_dft.grid, radius=2)
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    # Deterministic solver path (fixed s = 1) so results are bitwise
+    # independent of the rank count.
+    return RPAConfig(n_eig=32, n_quadrature=4, seed=1,
+                     dynamic_block_size=False, fixed_block_size=1)
+
+
+class TestParallelCorrectness:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_energy_independent_of_rank_count(self, toy_dft, toy_coulomb, base_config, p):
+        ser = compute_rpa_energy(toy_dft, base_config, coulomb=toy_coulomb)
+        par = compute_rpa_energy_parallel(toy_dft, base_config, n_ranks=p,
+                                          coulomb=toy_coulomb)
+        assert par.energy == pytest.approx(ser.energy, abs=1e-12)
+        assert par.converged
+
+    def test_block_size_cap_follows_distribution(self, toy_dft, toy_coulomb):
+        cfg = RPAConfig(n_eig=32, n_quadrature=2, seed=2, max_block_size=16)
+        par = compute_rpa_energy_parallel(toy_dft, cfg, n_ranks=8, coulomb=toy_coulomb)
+        # Section III-D: s <= n_eig / p = 4.
+        assert par.block_size_cap == 4
+        assert max(par.stats.block_size_counts) <= 4
+
+    def test_rejects_more_ranks_than_columns(self, toy_dft, toy_coulomb, base_config):
+        with pytest.raises(ValueError):
+            compute_rpa_energy_parallel(toy_dft, base_config, n_ranks=64,
+                                        coulomb=toy_coulomb)
+        with pytest.raises(ValueError):
+            compute_rpa_energy_parallel(toy_dft, base_config, n_ranks=0,
+                                        coulomb=toy_coulomb)
+
+
+class TestSimulatedScaling:
+    def test_walltime_decreases_with_ranks(self, toy_dft, toy_coulomb, base_config):
+        t1 = compute_rpa_energy_parallel(toy_dft, base_config, n_ranks=1,
+                                         coulomb=toy_coulomb).simulated_walltime
+        t4 = compute_rpa_energy_parallel(toy_dft, base_config, n_ranks=4,
+                                         coulomb=toy_coulomb).simulated_walltime
+        assert t4 < t1
+
+    def test_breakdown_covers_dominant_cost(self, toy_dft, toy_coulomb, base_config):
+        par = compute_rpa_energy_parallel(toy_dft, base_config, n_ranks=2,
+                                          coulomb=toy_coulomb)
+        assert par.breakdown["chi0_apply"] > 0
+        assert par.breakdown["eval_error"] > 0
+        total_kernels = sum(par.breakdown.values())
+        # Kernel buckets plus comm account for (almost all of) the walltime.
+        assert total_kernels <= par.simulated_walltime * 1.05
+
+    def test_comm_grows_with_ranks(self, toy_dft, toy_coulomb, base_config):
+        c2 = compute_rpa_energy_parallel(toy_dft, base_config, n_ranks=2,
+                                         coulomb=toy_coulomb).comm_seconds
+        c8 = compute_rpa_energy_parallel(toy_dft, base_config, n_ranks=8,
+                                         coulomb=toy_coulomb).comm_seconds
+        assert c8 > c2 > 0
+
+    def test_per_rank_seconds_recorded(self, toy_dft, toy_coulomb, base_config):
+        par = compute_rpa_energy_parallel(toy_dft, base_config, n_ranks=4,
+                                          coulomb=toy_coulomb)
+        assert par.per_rank_chi0_seconds.shape == (4,)
+        assert np.all(par.per_rank_chi0_seconds > 0)
+
+    def test_point_records(self, toy_dft, toy_coulomb, base_config):
+        par = compute_rpa_energy_parallel(toy_dft, base_config, n_ranks=2,
+                                          coulomb=toy_coulomb)
+        assert len(par.points) == 4
+        assert sum(p.simulated_seconds for p in par.points) == pytest.approx(
+            par.simulated_walltime, rel=0.05
+        )
+
+
+class TestThreadedBackend:
+    def test_matches_serial_operator(self, toy_dft, toy_coulomb):
+        kwargs = dict(tol=1e-8, max_iterations=2000, dynamic_block_size=False)
+        serial = Chi0Operator(toy_dft.hamiltonian, toy_dft.occupied_orbitals,
+                              toy_dft.occupied_energies, toy_coulomb, **kwargs)
+        threaded = ThreadedChi0Operator(toy_dft.hamiltonian, toy_dft.occupied_orbitals,
+                                        toy_dft.occupied_energies, toy_coulomb,
+                                        n_workers=2, **kwargs)
+        rng = np.random.default_rng(0)
+        V = rng.standard_normal((toy_dft.grid.n_points, 4))
+        a = serial.apply_chi0(V, 0.5)
+        b = threaded.apply_chi0(V, 0.5)
+        assert np.allclose(a, b, atol=1e-10)
+
+    def test_stats_deterministic_under_threads(self, toy_dft, toy_coulomb):
+        kwargs = dict(tol=1e-6, max_iterations=2000, dynamic_block_size=False)
+        counts = []
+        for workers in (1, 2):
+            op = ThreadedChi0Operator(toy_dft.hamiltonian, toy_dft.occupied_orbitals,
+                                      toy_dft.occupied_energies, toy_coulomb,
+                                      n_workers=workers, **kwargs)
+            rng = np.random.default_rng(1)
+            V = rng.standard_normal((toy_dft.grid.n_points, 3))
+            op.apply_chi0(V, 0.7)
+            counts.append((op.stats.n_systems, op.stats.total_iterations))
+        assert counts[0] == counts[1]
+
+    def test_validation(self, toy_dft, toy_coulomb):
+        with pytest.raises(ValueError):
+            ThreadedChi0Operator(toy_dft.hamiltonian, toy_dft.occupied_orbitals,
+                                 toy_dft.occupied_energies, toy_coulomb, n_workers=0)

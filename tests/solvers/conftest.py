@@ -1,0 +1,37 @@
+"""Shared fixtures: random complex symmetric / Sternheimer-like systems."""
+
+import numpy as np
+import pytest
+
+
+def make_complex_symmetric(n: int, seed: int = 0, omega: float = 0.5) -> np.ndarray:
+    """Random Sternheimer-shaped matrix: real symmetric + i*omega*I.
+
+    This is exactly the structure of the paper's coefficient matrices
+    A_{j,k} = (H - lambda_j I) + i omega_k I.
+    """
+    rng = np.random.default_rng(seed)
+    h = rng.standard_normal((n, n))
+    h = 0.5 * (h + h.T)
+    return h + 1j * omega * np.eye(n)
+
+
+def make_definite_sternheimer(n: int, seed: int = 0, omega: float = 0.5) -> np.ndarray:
+    """Sternheimer matrix whose real part is positive semi-definite (easy case)."""
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    lam = rng.uniform(0.0, 10.0, size=n)
+    return (q * lam) @ q.T + 1j * omega * np.eye(n)
+
+
+def make_indefinite_sternheimer(n: int, seed: int = 0, omega: float = 0.02) -> np.ndarray:
+    """Hard case: highly indefinite real spectrum with a tiny imaginary shift."""
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    lam = np.concatenate([rng.uniform(-5.0, -0.1, n // 2), rng.uniform(0.1, 5.0, n - n // 2)])
+    return (q * lam) @ q.T + 1j * omega * np.eye(n)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,121 @@
+"""Tests for the dynamic block-size selection (Algorithm 4)."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import (
+    block_cocg_solve,
+    flop_cost_model,
+    solve_with_dynamic_block_size,
+)
+from tests.solvers.conftest import make_definite_sternheimer, make_indefinite_sternheimer
+
+
+def _rhs(n, s, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, s)) + 1j * rng.standard_normal((n, s))
+
+
+class TestDynamicBlockSize:
+    def test_solves_all_columns(self):
+        n, s = 60, 16
+        A = make_definite_sternheimer(n, seed=1, omega=1.0)
+        B = _rhs(n, s, seed=2)
+        res = solve_with_dynamic_block_size(A, B, tol=1e-8, max_iterations=2000)
+        assert res.converged
+        assert np.linalg.norm(A @ res.solution - B) <= 1e-5 * np.linalg.norm(B)
+        assert sum(k * v for k, v in res.block_size_counts.items()) >= s
+
+    def test_column_count_conserved(self):
+        n, s = 40, 11  # deliberately not a power of two
+        A = make_definite_sternheimer(n, seed=3, omega=1.0)
+        B = _rhs(n, s, seed=4)
+        res = solve_with_dynamic_block_size(A, B, tol=1e-8)
+        total_cols = sum(size * count for size, count in res.block_size_counts.items())
+        assert total_cols == s
+
+    def test_respects_max_block_size(self):
+        n, s = 40, 32
+        A = make_definite_sternheimer(n, seed=5, omega=1.0)
+        B = _rhs(n, s, seed=6)
+        res = solve_with_dynamic_block_size(A, B, tol=1e-8, max_block_size=4)
+        assert max(res.block_size_counts) <= 4
+        assert res.selected_block_size <= 4
+
+    def test_max_block_size_one_stays_at_one(self):
+        n, s = 30, 6
+        A = make_definite_sternheimer(n, seed=7, omega=1.0)
+        B = _rhs(n, s, seed=8)
+        res = solve_with_dynamic_block_size(A, B, tol=1e-8, max_block_size=1)
+        assert res.block_size_counts == {1: 6}
+        assert res.selected_block_size == 1
+
+    def test_easy_systems_prefer_small_blocks_under_flop_model(self):
+        # When iteration count is insensitive to block size (easy spectra at
+        # loose tolerance), the FLOP model makes s > 1 strictly worse and the
+        # probe must settle at 1 — the paper's Table IV observation.
+        n, s = 80, 16
+        A = make_definite_sternheimer(n, seed=9, omega=10.0)
+        B = _rhs(n, s, seed=10)
+        cost = flop_cost_model(apply_cost_per_column=50.0 * n)
+        res = solve_with_dynamic_block_size(A, B, tol=1e-2, cost_fn=cost)
+        assert res.selected_block_size <= 2
+
+    def test_hard_systems_select_larger_blocks_under_flop_model(self):
+        # On a hard indefinite spectrum the iteration-count reduction from
+        # blocking pays for the extra BLAS-3 work when the apply is expensive.
+        n, s = 150, 32
+        A = make_indefinite_sternheimer(n, seed=11, omega=0.02)
+        B = _rhs(n, s, seed=12)
+        cost = flop_cost_model(apply_cost_per_column=5_000.0 * n)
+        res = solve_with_dynamic_block_size(
+            A, B, tol=1e-8, max_iterations=5000, cost_fn=cost, max_block_size=16
+        )
+        assert res.converged
+        assert res.selected_block_size >= 2
+
+    def test_decisions_trace_is_consistent(self):
+        n, s = 40, 16
+        A = make_definite_sternheimer(n, seed=13, omega=1.0)
+        B = _rhs(n, s, seed=14)
+        res = solve_with_dynamic_block_size(A, B, tol=1e-8)
+        assert res.decisions[0].block_size == 1
+        sizes = [d.block_size for d in res.decisions]
+        assert sizes == sorted(sizes)  # probe only ever doubles
+        for a, b in zip(sizes, sizes[1:]):
+            assert b == 2 * a
+
+    def test_single_rhs(self):
+        n = 30
+        A = make_definite_sternheimer(n, seed=15, omega=1.0)
+        B = _rhs(n, 1, seed=16)
+        res = solve_with_dynamic_block_size(A, B, tol=1e-8)
+        assert res.converged
+        assert res.block_size_counts == {1: 1}
+
+    def test_invalid_inputs(self):
+        A = make_definite_sternheimer(10, seed=17)
+        with pytest.raises(ValueError):
+            solve_with_dynamic_block_size(A, np.zeros((10, 0)))
+        with pytest.raises(ValueError):
+            solve_with_dynamic_block_size(A, _rhs(10, 2), max_block_size=0)
+        with pytest.raises(ValueError):
+            solve_with_dynamic_block_size(A, _rhs(10, 2), x0=np.zeros((10, 3)))
+
+    def test_initial_guess_sliced_per_chunk(self):
+        n, s = 40, 8
+        A = make_definite_sternheimer(n, seed=19, omega=1.0)
+        X = _rhs(n, s, seed=20)
+        B = A @ X
+        res = solve_with_dynamic_block_size(A, B, x0=X, tol=1e-8)
+        assert res.converged
+        assert res.total_iterations == 0  # exact guess everywhere
+
+    def test_matches_fixed_block_solution(self):
+        n, s = 50, 8
+        A = make_definite_sternheimer(n, seed=21, omega=1.0)
+        B = _rhs(n, s, seed=22)
+        dyn = solve_with_dynamic_block_size(A, B, tol=1e-9)
+        ref = block_cocg_solve(A, B, tol=1e-9, max_iterations=2000)
+        assert dyn.converged and ref.converged
+        assert np.allclose(dyn.solution, ref.solution, atol=1e-6)

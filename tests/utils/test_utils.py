@@ -1,0 +1,114 @@
+"""Tests for the shared utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    KernelTimers,
+    Timer,
+    check_complex_symmetric,
+    check_positive_definite,
+    check_square,
+    check_symmetric,
+    default_rng,
+    require,
+    spawn_rng,
+)
+
+
+class TestRNG:
+    def test_default_seed_reproducible(self):
+        a = default_rng().standard_normal(5)
+        b = default_rng().standard_normal(5)
+        assert np.array_equal(a, b)
+
+    def test_explicit_seed(self):
+        a = default_rng(7).standard_normal(5)
+        b = default_rng(8).standard_normal(5)
+        assert not np.array_equal(a, b)
+
+    def test_spawned_streams_independent(self):
+        root = default_rng(1)
+        a = spawn_rng(root, 0).standard_normal(100)
+        b = spawn_rng(root, 1).standard_normal(100)
+        assert not np.array_equal(a, b)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.3
+
+    def test_spawn_deterministic(self):
+        a = spawn_rng(default_rng(1), 3).standard_normal(5)
+        b = spawn_rng(default_rng(1), 3).standard_normal(5)
+        assert np.array_equal(a, b)
+
+    def test_spawn_rejects_negative_key(self):
+        with pytest.raises(ValueError):
+            spawn_rng(default_rng(), -1)
+
+
+class TestTimers:
+    def test_timer_measures(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed >= 0.0
+
+    def test_kernel_timers_accumulate(self):
+        kt = KernelTimers()
+        kt.add("a", 1.0)
+        kt.add("a", 2.0)
+        kt.add("b", 0.5)
+        assert kt.get("a") == 3.0
+        assert kt.total() == 3.5
+        assert kt.counts["a"] == 2
+
+    def test_region_context_manager(self):
+        kt = KernelTimers()
+        with kt.region("x"):
+            pass
+        assert kt.get("x") >= 0.0
+        assert kt.counts["x"] == 1
+
+    def test_merge(self):
+        a, b = KernelTimers(), KernelTimers()
+        a.add("k", 1.0)
+        b.add("k", 2.0)
+        b.add("j", 1.0)
+        a.merge(b)
+        assert a.get("k") == 3.0 and a.get("j") == 1.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            KernelTimers().add("x", -1.0)
+
+    def test_as_dict_is_copy(self):
+        kt = KernelTimers()
+        kt.add("x", 1.0)
+        d = kt.as_dict()
+        d["x"] = 99.0
+        assert kt.get("x") == 1.0
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+    def test_check_square(self):
+        check_square(np.eye(3))
+        with pytest.raises(ValueError):
+            check_square(np.zeros((2, 3)))
+
+    def test_check_symmetric(self):
+        check_symmetric(np.eye(3))
+        with pytest.raises(ValueError):
+            check_symmetric(np.array([[0.0, 1.0], [0.0, 0.0]]))
+
+    def test_check_complex_symmetric(self):
+        a = np.array([[1.0 + 1j, 2.0], [2.0, 3.0 - 1j]])
+        check_complex_symmetric(a)  # A == A.T even though A != A^H
+        with pytest.raises(ValueError):
+            check_complex_symmetric(np.array([[0.0, 1.0], [2.0, 0.0]]))
+
+    def test_check_positive_definite(self):
+        check_positive_definite(2 * np.eye(3))
+        with pytest.raises(ValueError):
+            check_positive_definite(-np.eye(3))
