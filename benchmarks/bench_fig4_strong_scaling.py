@@ -23,7 +23,7 @@ N_EIG = 48  # keeps n_eig / p >= 4 at p = 12, as in the paper's sweeps
 
 def test_fig4_strong_scaling(benchmark, si8_medium, scaling_sweep):
     dft, coulomb = si8_medium
-    ranks, cfg, results = scaling_sweep
+    ranks, cfg, results, _traces = scaling_sweep
     assert ranks == RANKS
     # Benchmark one representative mid-sweep run; the sweep itself is the
     # shared session fixture (also consumed by the Figure 5 bench).

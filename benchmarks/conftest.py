@@ -78,14 +78,28 @@ def si8_medium():
 
 
 @pytest.fixture(scope="session")
-def scaling_sweep(si8_medium):
-    """One simulated-MPI rank sweep shared by the Figure 4 and 5 benches."""
+def scaling_sweep(si8_medium, tmp_path_factory):
+    """One simulated-MPI rank sweep shared by the Figure 4 and 5 benches.
+
+    Every rank point runs under its own :class:`repro.obs.Tracer` and its
+    event stream is exported as JSONL, so the Figure 5 bench regenerates
+    the kernel breakdown from the trace files alone (the ``--trace``
+    pipeline end to end) rather than from in-memory accumulators.
+    """
     from repro.config import RPAConfig
+    from repro.obs import Tracer, use_tracer, write_jsonl
     from repro.parallel import compute_rpa_energy_parallel
 
     dft, coulomb = si8_medium
     cfg = RPAConfig(n_eig=48, n_quadrature=4, seed=1)
     ranks = (1, 2, 4, 8, 12)
-    results = {p: compute_rpa_energy_parallel(dft, cfg, n_ranks=p, coulomb=coulomb)
-               for p in ranks}
-    return ranks, cfg, results
+    trace_dir = tmp_path_factory.mktemp("scaling_traces")
+    results, traces = {}, {}
+    for p in ranks:
+        tracer = Tracer()
+        with use_tracer(tracer):
+            results[p] = compute_rpa_energy_parallel(dft, cfg, n_ranks=p,
+                                                     coulomb=coulomb)
+        traces[p] = write_jsonl(tracer, trace_dir / f"ranks{p}.trace.jsonl",
+                                meta={"system": dft.crystal.label, "ranks": p})
+    return ranks, cfg, results, traces

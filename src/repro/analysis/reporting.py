@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 
@@ -22,7 +23,13 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = 
 
 def _fmt(value) -> str:
     if isinstance(value, float):
-        if value == 0.0:
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        # Collapse floating-point dust (e.g. -1e-17 from cancellation) to 0
+        # rather than printing a misleading signed exponent.
+        if abs(value) < 1e-15:
             return "0"
         if abs(value) >= 1e4 or abs(value) < 1e-3:
             return f"{value:.3e}"

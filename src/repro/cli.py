@@ -6,10 +6,18 @@ The SC 2024 artifact runs ``mpirun -np <p> rpacalc -name Si8``, reading
     python -m repro --system si8 --input Si8.rpa --output Si8.out
     python -m repro --system si8-scaled --ranks 4          # simulated MPI
     python -m repro --system toy                           # smoke run
+    python -m repro --system toy --trace toy.trace.jsonl   # + observability
 
 Systems are built in (the paper's Table III silicon crystals, their scaled
 analogues, and the tiny model system); the input file is optional — paper
 defaults apply without it.
+
+Observability: every run collects spans/counters through ``repro.obs``
+(``--no-obs`` disables collection entirely). ``--trace FILE`` writes the
+JSONL event stream plus a Chrome ``trace_event`` file alongside it;
+``--metrics FILE`` writes the aggregated counters; with ``--output`` a
+machine-readable run manifest lands next to the ``.out`` log. Render the
+Fig. 5-style kernel table from a trace with ``python -m repro.obs.report``.
 """
 
 from __future__ import annotations
@@ -25,6 +33,15 @@ from repro.dft import GaussianPseudopotential, run_scf, scaled_silicon_crystal, 
 from repro.dft.atoms import Crystal
 from repro.grid import CoulombOperator
 from repro.io import estimate_memory_mb, format_output_log, load_rpa_config
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    use_tracer,
+    write_chrome_trace,
+    write_jsonl,
+    write_manifest,
+    write_metrics,
+)
 
 
 def build_system(name: str):
@@ -62,6 +79,35 @@ def build_system(name: str):
     raise ValueError(f"unknown system {name!r} (try: toy, si8, si8-scaled, ... si40)")
 
 
+def chrome_trace_path(trace_path: str) -> str:
+    """Companion Chrome-trace filename for a ``--trace`` JSONL path."""
+    base = trace_path[: -len(".jsonl")] if trace_path.endswith(".jsonl") else trace_path
+    return base + ".chrome.json"
+
+
+def _export_observability(args, tracer, config, system: str, **fields) -> None:
+    """Write the requested trace/metrics/manifest files after a run."""
+    if not tracer.enabled:
+        if args.trace or args.metrics:
+            print("note: --no-obs given; skipping trace/metrics export",
+                  file=sys.stderr)
+        return
+    if args.trace:
+        write_jsonl(tracer, args.trace,
+                    meta={"system": system, "ranks": args.ranks})
+        chrome = write_chrome_trace(tracer, chrome_trace_path(args.trace))
+        print(f"wrote trace {args.trace} (+ {chrome})", file=sys.stderr)
+    if args.metrics:
+        write_metrics(tracer, args.metrics,
+                      extra={"system": system, "ranks": args.ranks, **fields})
+        print(f"wrote metrics {args.metrics}", file=sys.stderr)
+    if args.output:
+        manifest = write_manifest(args.output + ".manifest.json", config=config,
+                                  tracer=tracer, system=system,
+                                  ranks=args.ranks, output=args.output, **fields)
+        print(f"wrote manifest {manifest}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument("--system", default="toy",
@@ -75,8 +121,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--n-eig", type=int, default=None,
                         help="override the number of nu chi0 eigenpairs")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write the JSONL span/event stream here, plus a Chrome "
+                             "trace_event file alongside (FILE with .chrome.json)")
+    parser.add_argument("--metrics", default=None, metavar="FILE",
+                        help="write the aggregated counters/kernel-timings JSON here")
+    parser.add_argument("--no-obs", action="store_true",
+                        help="disable observability collection entirely")
     args = parser.parse_args(argv)
 
+    tracer = NULL_TRACER if args.no_obs else Tracer()
+    with use_tracer(tracer):
+        return _run(args, tracer)
+
+
+def _run(args, tracer) -> int:
     crystal, grid, scf_kwargs, default_n_eig = build_system(args.system)
     n_eig = min(args.n_eig or default_n_eig, grid.n_points)
     if args.input is not None:
@@ -106,6 +165,14 @@ def main(argv: list[str] | None = None) -> int:
               f"(comm {par.comm_seconds * 1e3:.1f} ms)", file=sys.stderr)
         print(f"Total RPA correlation energy: {par.energy:.5E} (Ha), "
               f"{par.energy_per_atom:.5E} (Ha/atom)")
+        _export_observability(
+            args, tracer, config, crystal.label,
+            energy=par.energy, energy_per_atom=par.energy_per_atom,
+            converged=par.converged, simulated_walltime=par.simulated_walltime,
+            comm_seconds=par.comm_seconds,
+            imbalance_seconds=par.imbalance_seconds,
+            breakdown=par.breakdown, wall_seconds=par.wall_seconds,
+        )
         return 0
 
     result = compute_rpa_energy(dft, config, coulomb=coulomb)
@@ -120,6 +187,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {args.output}", file=sys.stderr)
     else:
         print(log)
+    _export_observability(
+        args, tracer, config, crystal.label,
+        energy=result.energy, energy_per_atom=result.energy_per_atom,
+        converged=result.converged, wall_seconds=result.elapsed_seconds,
+        scf_iterations=dft.n_iterations, scf_converged=dft.converged,
+    )
     return 0
 
 

@@ -26,6 +26,7 @@ from repro.core.trace import (
 )
 from repro.dft.scf import DFTResult
 from repro.grid.coulomb import CoulombOperator
+from repro.obs.tracer import get_tracer
 from repro.utils.rng import default_rng
 from repro.utils.timing import KernelTimers
 
@@ -124,7 +125,12 @@ def compute_rpa_energy(
     start = time.perf_counter()
     if coulomb is None:
         coulomb = CoulombOperator(dft.grid, radius=dft.hamiltonian.radius)
-    timers = KernelTimers()
+    tracer = get_tracer()
+    # A tracer satisfies the KernelTimers add/region protocol; charging the
+    # kernels through it turns every region into a span as well. The result
+    # still carries a plain KernelTimers (a live view over the tracer's
+    # buckets) so downstream consumers are unchanged.
+    timers = tracer if tracer.enabled else KernelTimers()
     if chi0_operator is None:
         chi0_operator = Chi0Operator(
             dft.hamiltonian,
@@ -150,43 +156,53 @@ def compute_rpa_energy(
 
     energy = 0.0
     points: list[OmegaPointResult] = []
-    for k in range(1, len(quad) + 1):
-        omega = float(quad.points[k - 1])
-        weight = float(quad.weights[k - 1])
-        t0 = time.perf_counter()
+    with tracer.span("rpa_energy", system=dft.crystal.label, n_eig=config.n_eig,
+                     n_quadrature=config.n_quadrature):
+        for k in range(1, len(quad) + 1):
+            omega = float(quad.points[k - 1])
+            weight = float(quad.weights[k - 1])
+            t0 = time.perf_counter()
 
-        def apply_op(block: np.ndarray) -> np.ndarray:
-            return chi0_operator.apply_symmetrized(block, omega, timers=timers)
+            def apply_op(block: np.ndarray) -> np.ndarray:
+                return chi0_operator.apply_symmetrized(block, omega, timers=timers)
 
-        sub: SubspaceResult = filtered_subspace_iteration(
-            apply_op,
-            V,
-            tol=config.tol_subspace_for(k),
-            degree=config.filter_degree,
-            max_iterations=config.max_filter_iterations,
-            timers=timers,
-        )
-        if config.use_warm_start:
-            V = sub.vectors
-        else:
-            V = rng.standard_normal((n_d, config.n_eig))
+            with tracer.span("omega_point", index=k, omega=omega,
+                             weight=weight) as sp:
+                sub: SubspaceResult = filtered_subspace_iteration(
+                    apply_op,
+                    V,
+                    tol=config.tol_subspace_for(k),
+                    degree=config.filter_degree,
+                    max_iterations=config.max_filter_iterations,
+                    timers=timers,
+                )
+                if config.use_warm_start:
+                    V = sub.vectors
+                else:
+                    V = rng.standard_normal((n_d, config.n_eig))
 
-        e_k = _energy_term(sub, chi0_operator, omega, config)
-        energy += weight * e_k / (2.0 * np.pi)
-        points.append(
-            OmegaPointResult(
-                index=k,
-                omega=omega,
-                weight=weight,
-                energy_term=e_k,
-                eigenvalues=sub.eigenvalues.copy(),
-                filter_iterations=sub.iterations,
-                error=sub.error,
-                converged=sub.converged,
-                elapsed_seconds=time.perf_counter() - t0,
-                skipped_filtering=sub.iterations == 0,
+                e_k = _energy_term(sub, chi0_operator, omega, config)
+                sp.set(energy_term=e_k, filter_iterations=sub.iterations,
+                       error=sub.error, converged=sub.converged)
+            if tracer.enabled:
+                tracer.incr("omega_points")
+                if sub.iterations == 0:
+                    tracer.incr("omega_points_skipped_filtering")
+            energy += weight * e_k / (2.0 * np.pi)
+            points.append(
+                OmegaPointResult(
+                    index=k,
+                    omega=omega,
+                    weight=weight,
+                    energy_term=e_k,
+                    eigenvalues=sub.eigenvalues.copy(),
+                    filter_iterations=sub.iterations,
+                    error=sub.error,
+                    converged=sub.converged,
+                    elapsed_seconds=time.perf_counter() - t0,
+                    skipped_filtering=sub.iterations == 0,
+                )
             )
-        )
 
     return RPAEnergyResult(
         energy=energy,
@@ -194,7 +210,7 @@ def compute_rpa_energy(
         points=points,
         quadrature=quad,
         stats=chi0_operator.stats,
-        timers=timers,
+        timers=tracer.kernel_timers() if tracer.enabled else timers,
         config=config,
         n_atoms=dft.crystal.n_atoms,
         elapsed_seconds=time.perf_counter() - start,

@@ -23,9 +23,11 @@ import numpy as np
 
 from repro.dft.hamiltonian import Hamiltonian
 from repro.grid.coulomb import CoulombOperator
+from repro.obs.tracer import get_tracer
 from repro.solvers.block_cocg import block_cocg_solve
 from repro.solvers.block_size import CostFn, flop_cost_model, solve_with_dynamic_block_size
 from repro.solvers.galerkin_guess import galerkin_initial_guess
+from repro.solvers.stats import SolveSummary
 from repro.utils.timing import KernelTimers
 
 
@@ -57,6 +59,20 @@ class SternheimerStats:
             self.block_size_counts[k] = self.block_size_counts.get(k, 0) + v
         for k, v in other.iterations_per_orbital.items():
             self.iterations_per_orbital[k] = self.iterations_per_orbital.get(k, 0) + v
+
+    def absorb(self, orbital: int, summary: SolveSummary) -> None:
+        """Accumulate one orbital's solve totals (a :class:`SolveSummary`)."""
+        self.n_block_solves += summary.n_solves
+        self.n_systems += summary.n_systems
+        self.total_iterations += summary.iterations
+        self.n_matvec += summary.n_matvec
+        self.n_breakdowns += summary.n_breakdowns
+        self.n_unconverged += summary.n_unconverged
+        for k, v in summary.block_size_counts.items():
+            self.block_size_counts[k] = self.block_size_counts.get(k, 0) + v
+        self.iterations_per_orbital[orbital] = (
+            self.iterations_per_orbital.get(orbital, 0) + summary.iterations
+        )
 
 
 class Chi0Operator:
@@ -124,11 +140,13 @@ class Chi0Operator:
         self.fixed_block_size = int(fixed_block_size)
         self.max_block_size = int(max_block_size)
         self.solver = solver
+        apply_cost = (6.0 * hamiltonian.radius + 1.0) * hamiltonian.n_points
+        if hamiltonian.nonlocal_part is not None:
+            apply_cost += 4.0 * hamiltonian.nonlocal_part.projectors.nnz
+        # The per-column apply cost also backs the tracer's FLOP counters
+        # when solves are costed by wall clock.
+        self._apply_cost = apply_cost
         if cost_fn == "flops":
-            radius = hamiltonian.radius
-            apply_cost = (6.0 * radius + 1.0) * hamiltonian.n_points
-            if hamiltonian.nonlocal_part is not None:
-                apply_cost += 4.0 * hamiltonian.nonlocal_part.projectors.nnz
             self.cost_fn: CostFn | None = flop_cost_model(apply_cost)
         else:
             self.cost_fn = cost_fn
@@ -185,60 +203,76 @@ class Chi0Operator:
         if self.use_galerkin_guess:
             x0 = galerkin_initial_guess(self.psi, self.eps, lam_j, omega, B)
         n_v = V.shape[1]
-        if self.dynamic_block_size and n_v > 1:
-            res = solve_with_dynamic_block_size(
-                apply_a,
-                B,
-                tol=self.tol,
-                max_iterations=self.max_iterations,
-                x0=x0,
-                max_block_size=min(self.max_block_size, n_v),
-                solver=self.solver,
-                cost_fn=self.cost_fn,
-                n=self.n_points,
-            )
-            self._record_dynamic(j, res)
-            return res.solution
-        # Fixed block size: slice the RHS into chunks.
-        s = min(self.fixed_block_size, n_v)
-        Y = np.empty((self.n_points, n_v), dtype=complex)
-        for start in range(0, n_v, s):
-            sl = slice(start, min(start + s, n_v))
-            guess = x0[:, sl] if x0 is not None else None
-            r = self.solver(
-                apply_a,
-                B[:, sl],
-                x0=guess,
-                tol=self.tol,
-                max_iterations=self.max_iterations,
-                n=self.n_points,
-            )
-            sol = r.solution if r.solution.ndim == 2 else r.solution[:, None]
-            Y[:, sl] = sol
-            self._record_fixed(j, r, sl.stop - sl.start)
-        return Y
+        with get_tracer().span("sternheimer_solve", orbital=j, omega=omega,
+                               n_rhs=n_v) as sp:
+            if self.dynamic_block_size and n_v > 1:
+                res = solve_with_dynamic_block_size(
+                    apply_a,
+                    B,
+                    tol=self.tol,
+                    max_iterations=self.max_iterations,
+                    x0=x0,
+                    max_block_size=min(self.max_block_size, n_v),
+                    solver=self.solver,
+                    cost_fn=self.cost_fn,
+                    n=self.n_points,
+                )
+                self._record(j, res.summary(), sp)
+                return res.solution
+            # Fixed block size: slice the RHS into chunks.
+            s = min(self.fixed_block_size, n_v)
+            Y = np.empty((self.n_points, n_v), dtype=complex)
+            results = []
+            for start in range(0, n_v, s):
+                sl = slice(start, min(start + s, n_v))
+                guess = x0[:, sl] if x0 is not None else None
+                r = self.solver(
+                    apply_a,
+                    B[:, sl],
+                    x0=guess,
+                    tol=self.tol,
+                    max_iterations=self.max_iterations,
+                    n=self.n_points,
+                )
+                sol = r.solution if r.solution.ndim == 2 else r.solution[:, None]
+                Y[:, sl] = sol
+                results.append(r)
+            self._record(j, SolveSummary.of(results), sp)
+            return Y
 
-    def _record_dynamic(self, j: int, res) -> None:
-        st = self.stats
-        st.n_block_solves += len(res.chunk_results)
-        st.n_systems += res.solution.shape[1]
-        st.total_iterations += res.total_iterations
-        st.n_matvec += res.n_matvec
-        st.n_breakdowns += sum(1 for r in res.chunk_results if r.breakdown)
-        st.n_unconverged += sum(1 for r in res.chunk_results if not r.converged)
-        for k, c in res.block_size_counts.items():
-            st.block_size_counts[k] = st.block_size_counts.get(k, 0) + c
-        st.iterations_per_orbital[j] = (
-            st.iterations_per_orbital.get(j, 0) + res.total_iterations
-        )
+    def _record(self, j: int, summary: SolveSummary, span=None) -> None:
+        """Fold one orbital's solve totals into stats, tracer and span attrs."""
+        self.stats.absorb(j, summary)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.incr("matvecs", summary.n_matvec)
+            tracer.incr("cocg_iterations", summary.iterations)
+            tracer.incr("sternheimer_block_solves", summary.n_solves)
+            tracer.incr("flops_est", self._estimate_flops(summary))
+            if summary.n_breakdowns:
+                tracer.incr("sternheimer_breakdowns", summary.n_breakdowns)
+            if summary.n_unconverged:
+                tracer.incr("sternheimer_unconverged", summary.n_unconverged)
+                tracer.event("sternheimer_unconverged", orbital=j,
+                             count=summary.n_unconverged)
+            if span is not None:
+                span.set(iterations=summary.iterations, n_matvec=summary.n_matvec,
+                         block_solves=summary.n_solves,
+                         converged=summary.converged)
 
-    def _record_fixed(self, j: int, r, width: int) -> None:
-        st = self.stats
-        st.n_block_solves += 1
-        st.n_systems += width
-        st.total_iterations += r.iterations
-        st.n_matvec += r.n_matvec
-        st.n_breakdowns += int(r.breakdown)
-        st.n_unconverged += int(not r.converged)
-        st.block_size_counts[width] = st.block_size_counts.get(width, 0) + 1
-        st.iterations_per_orbital[j] = st.iterations_per_orbital.get(j, 0) + r.iterations
+    def _estimate_flops(self, summary: SolveSummary) -> float:
+        """Deterministic Section III-B FLOP estimate for an orbital's solves.
+
+        ``n_matvec * apply_cost`` for the operator applications, plus the
+        BLAS-3 terms ``iterations * (5 n s^2 + 2 s^3)`` per block size;
+        iterations are apportioned over the size histogram by system count
+        (exact when every chunk at a size runs the same iteration count, a
+        close approximation otherwise).
+        """
+        total = summary.n_matvec * self._apply_cost
+        n = self.n_points
+        n_systems = max(summary.n_systems, 1)
+        for s, count in summary.block_size_counts.items():
+            iters = summary.iterations * (s * count) / n_systems
+            total += iters * (5.0 * n * s * s + 2.0 * s**3)
+        return total

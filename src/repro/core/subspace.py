@@ -23,6 +23,7 @@ import numpy as np
 import scipy.linalg
 
 from repro.dft.eigensolvers import chebyshev_filter
+from repro.obs.tracer import get_tracer
 from repro.utils.timing import KernelTimers
 
 
@@ -72,7 +73,9 @@ def filtered_subspace_iteration(
     timers:
         Optional kernel timer buckets: ``matmult``, ``eigensolve``,
         ``eval_error`` are charged here (``chi0_apply`` is charged inside
-        the operator).
+        the operator). Anything satisfying the ``add``/``region`` protocol
+        works — a :class:`repro.utils.timing.KernelTimers` or a
+        :class:`repro.obs.Tracer` (the latter additionally emits spans).
     on_iteration:
         Diagnostic hook called as ``(iteration, error, eigenvalues)`` after
         every convergence check.
@@ -85,23 +88,30 @@ def filtered_subspace_iteration(
     if V.ndim != 2:
         raise ValueError(f"v0 must be a block (n_d, n_eig), got shape {V.shape}")
     timers = timers if timers is not None else KernelTimers()
+    tracer = get_tracer()
 
     W = apply_op(V)
     vals, V, W = _rayleigh_ritz(V, W, timers)
     err = _eq7_error(V, W, vals, timers)
     history = [err]
+    if tracer.enabled:
+        tracer.gauge("subspace_error", err, iteration=0)
     if on_iteration is not None:
         on_iteration(0, err, vals)
     if err <= tol:
         return SubspaceResult(vals, V, 0, err, history, converged=True)
 
     for it in range(1, max_iterations + 1):
-        low, cut, high = _filter_bounds(vals)
-        V = chebyshev_filter(apply_op, V, degree, low, cut, high)
-        W = apply_op(V)
-        vals, V, W = _rayleigh_ritz(V, W, timers)
-        err = _eq7_error(V, W, vals, timers)
+        with tracer.span("subspace_iteration", iteration=it, degree=degree) as sp:
+            low, cut, high = _filter_bounds(vals)
+            V = chebyshev_filter(apply_op, V, degree, low, cut, high)
+            W = apply_op(V)
+            vals, V, W = _rayleigh_ritz(V, W, timers)
+            err = _eq7_error(V, W, vals, timers)
+            sp.set(error=err)
         history.append(err)
+        if tracer.enabled:
+            tracer.gauge("subspace_error", err, iteration=it)
         if on_iteration is not None:
             on_iteration(it, err, vals)
         if err <= tol:

@@ -34,6 +34,7 @@ from repro.dft.pseudopotential import (
 from repro.dft.xc import lda_xc, xc_energy
 from repro.grid.coulomb import CoulombOperator
 from repro.grid.mesh import Grid3D
+from repro.obs.tracer import get_tracer
 
 
 @dataclass
@@ -189,7 +190,10 @@ def run_scf(
     converged = False
     it = 0
 
+    tracer = get_tracer()
+    t_scf = tracer.now() if tracer.enabled else 0.0
     for it in range(1, max_iterations + 1):
+        t_iter = tracer.now() if tracer.enabled else 0.0
         eps_xc, v_xc = lda_xc(rho)
         v_h = hartree_potential(rho, coulomb)
         h.update_potential(v_ext + v_h + v_xc)
@@ -214,6 +218,10 @@ def run_scf(
         band = float(2.0 * np.sum(occ * eigenvalues))
         history.density_residuals.append(resid)
         history.band_energies.append(band)
+        if tracer.enabled:
+            tracer.record("scf_iteration", t_iter, iteration=it,
+                          residual=resid, band_energy=band)
+            tracer.gauge("scf_density_residual", resid, iteration=it)
         if resid < tol:
             rho = rho_out
             converged = True
@@ -224,6 +232,10 @@ def run_scf(
         total = electron_count(rho, grid)
         if total > 0:
             rho *= n_electrons / total
+
+    if tracer.enabled:
+        tracer.record("scf", t_scf, iterations=it, converged=converged,
+                      eigensolver=eigensolver)
 
     # Final energies at the converged density.
     eps_xc, v_xc = lda_xc(rho)

@@ -1,0 +1,64 @@
+"""repro.obs — structured tracing and metrics for the full RPA pipeline.
+
+The paper's evaluation is built on per-kernel timing breakdowns (Fig. 5),
+iteration counts vs. block size (Table IV) and strong scaling (Fig. 4);
+this package makes those measurements first-class: every layer of the
+pipeline (SCF, frequency sweep, subspace iteration, Sternheimer block
+solves, COCG iterations, simulated MPI ranks) emits hierarchical spans and
+counters into one :class:`Tracer`, exportable as a JSONL event stream, a
+Chrome ``trace_event`` file (``chrome://tracing`` / Perfetto) and an
+aggregated run manifest.
+
+Quick use::
+
+    from repro import obs
+
+    with obs.use_tracer(obs.Tracer()) as tracer:
+        result = compute_rpa_energy(dft, config)
+    obs.write_jsonl(tracer, "run.trace.jsonl")
+    obs.write_chrome_trace(tracer, "run.chrome.json")
+
+then ``python -m repro.obs.report run.trace.jsonl`` renders the Fig. 5
+breakdown. When no tracer is installed the active tracer is
+:data:`NULL_TRACER` and every instrumentation point is a no-op guard.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    git_revision,
+    read_chrome_trace,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_manifest,
+    write_metrics,
+)
+from repro.obs.tracer import (
+    FIG5_KERNELS,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "FIG5_KERNELS",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "chrome_trace_events",
+    "git_revision",
+    "read_chrome_trace",
+    "read_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_manifest",
+    "write_metrics",
+]

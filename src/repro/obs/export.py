@@ -1,0 +1,235 @@
+"""Exporters for :class:`repro.obs.Tracer` data.
+
+Three formats, instrument-once / export-anywhere:
+
+* **JSONL event stream** (:func:`write_jsonl`) — one JSON record per line:
+  a ``trace_header`` record, every span/instant/gauge event, and a final
+  ``summary`` record with the aggregated counters and kernel buckets.
+  This is the canonical format ``repro.obs.report`` consumes.
+* **Chrome ``trace_event``** (:func:`write_chrome_trace`) — loadable in
+  ``chrome://tracing`` / Perfetto. Wall-clock events appear under one
+  process; each virtual domain becomes its own process with the simulated
+  ranks as synthetic threads, so per-rank load imbalance is visible on the
+  timeline.
+* **Run manifest** (:func:`write_manifest`) — one aggregated JSON (config,
+  git revision, timings, counters, energies) written next to the ``.out``
+  file for machine-readable run provenance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Iterable
+
+JSONL_VERSION = 1
+
+
+def _jsonable(value):
+    """JSON fallback for numpy scalars/arrays and other stragglers."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return value.item()
+        except (ValueError, TypeError):
+            pass
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return value.tolist()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.asdict(value)
+    return str(value)
+
+
+def _dumps(obj) -> str:
+    return json.dumps(obj, default=_jsonable)
+
+
+# -- JSONL event stream ----------------------------------------------------------
+
+
+def write_jsonl(tracer, path: str | Path, meta: dict | None = None) -> Path:
+    """Write the tracer's full event stream as JSON Lines; returns the path."""
+    path = Path(path)
+    with open(path, "w") as fh:
+        header = {"type": "trace_header", "version": JSONL_VERSION,
+                  "tool": "repro.obs", "domain": tracer.domain}
+        if meta:
+            header["meta"] = meta
+        fh.write(_dumps(header) + "\n")
+        for ev in tracer.events:
+            fh.write(_dumps(ev) + "\n")
+        fh.write(_dumps({"type": "summary", **tracer.metrics()}) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> tuple[list[dict], dict]:
+    """Load a JSONL stream; returns ``(events, summary)``.
+
+    ``events`` holds the span/instant/gauge records; ``summary`` is the
+    final aggregate record (empty dict when absent, e.g. a truncated
+    stream from a crashed run — everything up to the crash still loads).
+    """
+    events: list[dict] = []
+    summary: dict = {}
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            kind = rec.get("type")
+            if kind in ("span", "instant", "gauge"):
+                events.append(rec)
+            elif kind == "summary":
+                summary = rec
+    return events, summary
+
+
+# -- Chrome trace_event format ---------------------------------------------------
+
+
+def chrome_trace_events(events: Iterable[dict]) -> list[dict]:
+    """Convert internal event records to Chrome ``trace_event`` dicts.
+
+    Domains map to processes (pids), ranks to threads (tids); timestamps
+    convert from seconds to the format's microseconds.
+    """
+    pids: dict[str, int] = {}
+    out: list[dict] = []
+
+    def pid_of(domain: str) -> int:
+        if domain not in pids:
+            pids[domain] = len(pids) + 1
+            out.append({"name": "process_name", "ph": "M", "pid": pids[domain],
+                        "tid": 0, "args": {"name": domain}})
+        return pids[domain]
+
+    seen_tids: set[tuple[int, int]] = set()
+    for ev in events:
+        domain = ev.get("domain") or "wall"
+        pid = pid_of(domain)
+        tid = ev.get("rank")
+        tid = 0 if tid is None else int(tid)
+        if (pid, tid) not in seen_tids:
+            seen_tids.add((pid, tid))
+            label = f"rank {tid}" if domain != "wall" else "main"
+            out.append({"name": "thread_name", "ph": "M", "pid": pid,
+                        "tid": tid, "args": {"name": label}})
+        kind = ev.get("type")
+        base = {"name": ev["name"], "cat": domain, "pid": pid, "tid": tid,
+                "ts": float(ev["ts"]) * 1e6}
+        if kind == "span":
+            out.append({**base, "ph": "X", "dur": max(float(ev["dur"]), 0.0) * 1e6,
+                        "args": ev.get("attrs", {})})
+        elif kind == "instant":
+            out.append({**base, "ph": "i", "s": "t", "args": ev.get("attrs", {})})
+        elif kind == "gauge":
+            out.append({**base, "ph": "C", "args": {ev["name"]: ev.get("value", 0.0)}})
+    return out
+
+
+def write_chrome_trace(tracer_or_events, path: str | Path) -> Path:
+    """Write a Chrome ``trace_event`` JSON file; returns the path."""
+    events = getattr(tracer_or_events, "events", tracer_or_events)
+    path = Path(path)
+    payload = {"traceEvents": chrome_trace_events(events),
+               "displayTimeUnit": "ms"}
+    with open(path, "w") as fh:
+        json.dump(payload, fh, default=_jsonable)
+    return path
+
+
+def read_chrome_trace(path: str | Path) -> list[dict]:
+    """Load a Chrome trace file back into internal event records.
+
+    Only ``X`` (complete) and ``i`` (instant) events are reconstructed;
+    metadata and counter samples have no internal equivalent with full
+    fidelity and are skipped.
+    """
+    with open(path) as fh:
+        payload = json.load(fh)
+    raw = payload["traceEvents"] if isinstance(payload, dict) else payload
+    names = {}
+    for ev in raw:
+        if ev.get("ph") == "M" and ev.get("name") == "process_name":
+            names[ev["pid"]] = ev["args"]["name"]
+    events: list[dict] = []
+    for ev in raw:
+        ph = ev.get("ph")
+        if ph not in ("X", "i"):
+            continue
+        domain = names.get(ev.get("pid"), "wall")
+        rec = {
+            "type": "span" if ph == "X" else "instant",
+            "name": ev["name"],
+            "ts": float(ev.get("ts", 0.0)) / 1e6,
+            "rank": int(ev.get("tid", 0)),
+            "domain": domain,
+            "attrs": ev.get("args", {}),
+        }
+        if ph == "X":
+            rec["dur"] = float(ev.get("dur", 0.0)) / 1e6
+        events.append(rec)
+    return events
+
+
+# -- metrics + run manifest ------------------------------------------------------
+
+
+def write_metrics(tracer, path: str | Path, extra: dict | None = None) -> Path:
+    """Write the aggregated counters/gauges/buckets JSON (``--metrics``)."""
+    path = Path(path)
+    payload = tracer.metrics()
+    if extra:
+        payload.update(extra)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, default=_jsonable)
+    return path
+
+
+def git_revision(cwd: str | Path | None = None) -> str:
+    """Current git revision, or ``"unknown"`` outside a repository."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=10,
+        )
+        rev = out.stdout.strip()
+        return rev if out.returncode == 0 and rev else "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def write_manifest(path: str | Path, config=None, tracer=None,
+                   **fields) -> Path:
+    """Write the aggregated run-manifest JSON next to the ``.out`` file.
+
+    ``config`` (a dataclass, e.g. :class:`repro.config.RPAConfig`) is
+    serialized under ``"config"``; the tracer contributes its kernel
+    buckets and counters; ``fields`` carries run-specific values (system,
+    energies, walltime, ranks, output path, ...).
+    """
+    path = Path(path)
+    manifest: dict = {
+        "schema": 1,
+        "tool": "repro.obs",
+        "git_rev": git_revision(Path(__file__).resolve().parent),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    if config is not None:
+        manifest["config"] = (dataclasses.asdict(config)
+                              if dataclasses.is_dataclass(config) else dict(config))
+    if tracer is not None:
+        m = tracer.metrics()
+        manifest["timings"] = m["buckets"]
+        manifest["timing_counts"] = m["bucket_counts"]
+        manifest["counters"] = m["counters"]
+        manifest["n_events"] = m["n_events"]
+    manifest.update(fields)
+    with open(path, "w") as fh:
+        json.dump(manifest, fh, indent=2, default=_jsonable)
+    return path

@@ -1,0 +1,145 @@
+"""Render paper-style performance reports from exported trace files.
+
+Usage (command line)::
+
+    python -m repro.obs.report run.trace.jsonl
+    python -m repro.obs.report run.chrome.json --domain virtual
+    python -m repro.obs.report run.trace.jsonl --all
+
+Reads a JSONL event stream (the ``--trace`` output) or a Chrome
+``trace_event`` file and reproduces the paper's Figure 5-style per-kernel
+timing breakdown — from the trace file alone, with no access to the run's
+in-memory timers — rendered through
+:func:`repro.analysis.reporting.format_table`.
+
+Aggregation semantics: span durations are summed per ``(kernel, domain,
+rank)`` and the slowest rank's total is reported per kernel — exactly how
+an MPI program's per-kernel walltime is governed by its slowest rank. For
+serial (wall-clock) traces there is a single implicit rank, so the value
+is the plain bucket total.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.reporting import format_table
+from repro.obs.export import read_chrome_trace, read_jsonl
+from repro.obs.tracer import FIG5_KERNELS
+
+
+def load_events(path: str | Path) -> list[dict]:
+    """Load internal event records from a JSONL stream or Chrome trace file."""
+    path = Path(path)
+    with open(path) as fh:
+        head = fh.read(4096).lstrip()
+    if not head:
+        return []
+    first_line = head.splitlines()[0]
+    try:
+        first = json.loads(first_line)
+    except json.JSONDecodeError:
+        first = None
+    if isinstance(first, dict) and first.get("type") == "trace_header":
+        events, _ = read_jsonl(path)
+        return events
+    return read_chrome_trace(path)
+
+
+def kernel_breakdown(events: list[dict], kernels: tuple[str, ...] | None = None,
+                     domain: str | None = None) -> dict[str, dict]:
+    """Per-kernel ``{"seconds", "count", "per_rank"}`` from span events.
+
+    ``seconds`` is the slowest rank's accumulated time for that kernel
+    (ranks collapse to one group for serial traces); ``per_rank`` maps
+    ``(domain, rank) -> seconds``. ``kernels=None`` keeps every span name.
+    """
+    grouped: dict[str, dict[tuple[str, int], float]] = {}
+    counts: dict[str, int] = {}
+    for ev in events:
+        if ev.get("type") != "span":
+            continue
+        name = ev["name"]
+        if kernels is not None and name not in kernels:
+            continue
+        if domain is not None and (ev.get("domain") or "wall") != domain:
+            continue
+        rank = ev.get("rank")
+        key = (ev.get("domain") or "wall", 0 if rank is None else int(rank))
+        per = grouped.setdefault(name, {})
+        per[key] = per.get(key, 0.0) + float(ev.get("dur", 0.0))
+        counts[name] = counts.get(name, 0) + 1
+    return {
+        name: {
+            "seconds": max(per.values()),
+            "count": counts[name],
+            "per_rank": {f"{d}:{r}": v for (d, r), v in sorted(per.items())},
+        }
+        for name, per in grouped.items()
+    }
+
+
+def breakdown_table(events: list[dict], kernels: tuple[str, ...] | None = FIG5_KERNELS,
+                    domain: str | None = None, title: str | None = None) -> str:
+    """Figure 5-style kernel breakdown table rendered with ``format_table``."""
+    bd = kernel_breakdown(events, kernels=kernels, domain=domain)
+    if kernels is None:
+        # Widest kernels first keeps the table stable across runs.
+        ordered = sorted(bd, key=lambda k: -bd[k]["seconds"])
+    else:
+        ordered = [k for k in kernels if k in bd]
+    total = sum(bd[k]["seconds"] for k in ordered)
+    rows = []
+    for k in ordered:
+        sec = bd[k]["seconds"]
+        share = sec / total if total > 0 else 0.0
+        rows.append([k, sec, f"{100.0 * share:.1f}%", bd[k]["count"]])
+    rows.append(["total", total, "100.0%" if total > 0 else "0.0%",
+                 sum(bd[k]["count"] for k in ordered)])
+    if title is None:
+        title = ("Figure 5-style kernel breakdown "
+                 "(seconds; slowest rank per kernel)")
+    return format_table(["kernel", "seconds", "share", "spans"], rows, title=title)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render the paper's Fig. 5-style kernel breakdown from a "
+                    "trace file (JSONL event stream or Chrome trace_event JSON).",
+    )
+    parser.add_argument("trace", help="trace file written by --trace (JSONL or Chrome JSON)")
+    parser.add_argument("--domain", default=None,
+                        help="restrict to one timeline: wall | virtual (default: all)")
+    parser.add_argument("--all", action="store_true",
+                        help="tabulate every span name, not just the Fig. 5 kernels")
+    args = parser.parse_args(argv)
+
+    try:
+        events = load_events(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read {args.trace}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 1
+    except (ValueError, KeyError, TypeError):
+        print(f"error: {args.trace} is not a trace file (expected a JSONL "
+              "event stream or Chrome trace_event JSON)", file=sys.stderr)
+        return 1
+    if not events:
+        print(f"no events found in {args.trace}", file=sys.stderr)
+        return 1
+    kernels = None if args.all else FIG5_KERNELS
+    table = breakdown_table(events, kernels=kernels, domain=args.domain,
+                            title=f"Figure 5-style kernel breakdown — {args.trace}")
+    if not args.all and not any(k in table for k in FIG5_KERNELS):
+        print("note: no Fig. 5 kernel spans in this trace; rerun with --all "
+              "to list every span name", file=sys.stderr)
+    print(table)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,325 @@
+"""Hierarchical span tracing and counters for the RPA pipeline.
+
+One :class:`Tracer` collects everything a run produces:
+
+* **spans** — named, nested intervals with attributes (omega index,
+  orbital, block size, residual norm, ...). Wall-clock spans come from the
+  context manager :meth:`Tracer.span`; the simulated-MPI layer records
+  *virtual-time* spans with explicit start/end stamps and a rank, so the
+  per-rank timelines export as synthetic threads.
+* **counters/gauges** — monotonically accumulated totals (matvecs, FLOP
+  estimates, breakdowns) and point-in-time samples (residuals, errors).
+* **kernel buckets** — the ``add(name, seconds)`` protocol that
+  :class:`repro.utils.timing.KernelTimers` defined; a tracer satisfies it
+  directly (``add`` + ``region``), so every call site that used to take a
+  ``KernelTimers`` can take a tracer unchanged, and
+  :meth:`Tracer.kernel_timers` returns a ``KernelTimers`` that is a thin
+  view (shared dicts) over the tracer's buckets.
+
+The module-level active tracer defaults to :data:`NULL_TRACER`, whose
+every operation is a no-op and whose ``span``/``region`` return one shared
+do-nothing context manager — the disabled path allocates nothing. Hot
+loops additionally guard per-iteration instrumentation with
+``tracer.enabled`` so a disabled run costs one attribute load per
+iteration (see ``benchmarks/bench_obs_overhead.py``).
+
+Clock backends
+--------------
+``Tracer(clock=...)`` accepts any zero-argument callable returning
+seconds. The default is ``time.perf_counter`` (wall clock); passing a
+virtual clock (e.g. ``lambda: clocks.elapsed`` for a
+:class:`repro.parallel.virtual_clock.VirtualClocks`) yields a tracer whose
+spans and ``add`` charges live on the simulated timeline instead.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable
+
+from repro.utils.timing import KernelTimers
+
+#: Default span names mirroring the paper's Figure 5 kernels.
+FIG5_KERNELS = ("chi0_apply", "matmult", "eigensolve", "eval_error")
+
+
+class Span:
+    """Context manager for one live span. Created by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "name", "rank", "domain", "bucket", "attrs", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, rank: int | None,
+                 domain: str | None, bucket: str | None, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.rank = rank
+        self.domain = domain
+        self.bucket = bucket
+        self.attrs = attrs
+        self._start = 0.0
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes discovered while the span is running."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._start = self._tracer.now()
+        self._tracer._stack.append(self.name)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        tr = self._tracer
+        end = tr.now()
+        tr._stack.pop()
+        dur = end - self._start
+        tr._append_span(self.name, self._start, dur, len(tr._stack),
+                        self.rank, self.domain, self.attrs)
+        if self.bucket is not None:
+            tr.add(self.bucket, max(dur, 0.0))
+
+
+class _NullSpan:
+    """Shared no-op span: zero allocation on the disabled path."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans, counters, gauges and kernel buckets for one run.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning seconds. Wall clock by default;
+        pass a virtual clock for simulated timelines.
+    domain:
+        Default domain tag stamped on events (``"wall"`` for the real
+        clock; the simulated-MPI layer records events under ``"virtual"``).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter,
+                 domain: str = "wall") -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self.domain = domain
+        self.events: list[dict] = []
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.buckets: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+        self._stack: list[str] = []
+
+    # -- time ----------------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since this tracer was created (its timeline origin)."""
+        return self._clock() - self._epoch
+
+    # -- spans ---------------------------------------------------------------
+
+    def span(self, name: str, rank: int | None = None, bucket: str | None = None,
+             **attrs) -> Span:
+        """Open a nested span: ``with tracer.span("omega_point", index=k): ...``
+
+        ``bucket`` additionally charges the span's duration to that kernel
+        bucket on exit (the ``KernelTimers`` behaviour).
+        """
+        return Span(self, name, rank, None, bucket, attrs)
+
+    def record(self, name: str, start: float, end: float | None = None,
+               duration: float | None = None, rank: int | None = None,
+               domain: str | None = None, bucket: str | None = None,
+               **attrs) -> None:
+        """Append an already-completed span.
+
+        ``start`` is a timeline stamp (from :meth:`now`, or an absolute
+        virtual-clock value when ``domain`` names a virtual timeline).
+        Exactly one of ``end``/``duration`` may be given; ``end`` defaults
+        to :meth:`now`. Post-hoc records carry the stack depth at record
+        time, which is what hot loops use to avoid try/finally plumbing.
+        """
+        if duration is None:
+            duration = (self.now() if end is None else end) - start
+        self._append_span(name, start, duration, len(self._stack), rank,
+                          domain, attrs)
+        if bucket is not None:
+            self.add(bucket, max(duration, 0.0))
+
+    def _append_span(self, name: str, ts: float, dur: float, depth: int,
+                     rank: int | None, domain: str | None, attrs: dict) -> None:
+        self.events.append({
+            "type": "span",
+            "name": name,
+            "ts": ts,
+            "dur": dur,
+            "depth": depth,
+            "rank": rank,
+            "domain": domain if domain is not None else self.domain,
+            "attrs": attrs,
+        })
+
+    def event(self, name: str, rank: int | None = None, domain: str | None = None,
+              **attrs) -> None:
+        """Record an instant (zero-duration) event, e.g. a block-size decision."""
+        self.events.append({
+            "type": "instant",
+            "name": name,
+            "ts": self.now(),
+            "rank": rank,
+            "domain": domain if domain is not None else self.domain,
+            "attrs": attrs,
+        })
+
+    # -- counters and gauges -------------------------------------------------
+
+    def incr(self, name: str, value: float = 1.0) -> None:
+        """Accumulate a monotone counter (matvecs, FLOPs, breakdowns, ...)."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float, rank: int | None = None,
+              **attrs) -> None:
+        """Sample a point-in-time value (residual norm, subspace error, ...)."""
+        self.gauges[name] = float(value)
+        self.events.append({
+            "type": "gauge",
+            "name": name,
+            "ts": self.now(),
+            "value": float(value),
+            "rank": rank,
+            "domain": self.domain,
+            "attrs": attrs,
+        })
+
+    # -- the KernelTimers protocol --------------------------------------------
+
+    def add(self, name: str, seconds: float) -> None:
+        """Charge ``seconds`` to kernel bucket ``name`` (KernelTimers protocol)."""
+        if seconds < 0.0:
+            raise ValueError(f"negative duration for {name!r}: {seconds}")
+        self.buckets[name] = self.buckets.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def region(self, name: str) -> Span:
+        """Span that also charges bucket ``name`` — drop-in for
+        :meth:`repro.utils.timing.KernelTimers.region`."""
+        return Span(self, name, None, None, name, {})
+
+    def kernel_timers(self) -> KernelTimers:
+        """A ``KernelTimers`` that is a live view over this tracer's buckets."""
+        return KernelTimers(buckets=self.buckets, counts=self.counts)
+
+    # -- summaries -------------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """Aggregated counters/gauges/buckets (the ``--metrics`` payload)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "buckets": dict(self.buckets),
+            "bucket_counts": dict(self.counts),
+            "n_events": len(self.events),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Tracer(domain={self.domain!r}, events={len(self.events)}, "
+                f"buckets={sorted(self.buckets)})")
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    ``span``/``region`` return one shared context manager so the guarded
+    path performs no allocation; hot loops skip even that via the
+    ``enabled`` flag.
+    """
+
+    enabled = False
+    domain = "null"
+    events: list[dict] = []  # intentionally shared and always empty
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    buckets: dict[str, float] = {}
+    counts: dict[str, int] = {}
+
+    def now(self) -> float:
+        return 0.0
+
+    def span(self, name: str, rank: int | None = None, bucket: str | None = None,
+             **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record(self, name: str, start: float, end: float | None = None,
+               duration: float | None = None, rank: int | None = None,
+               domain: str | None = None, bucket: str | None = None,
+               **attrs) -> None:
+        pass
+
+    def event(self, name: str, rank: int | None = None, domain: str | None = None,
+              **attrs) -> None:
+        pass
+
+    def incr(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def gauge(self, name: str, value: float, rank: int | None = None,
+              **attrs) -> None:
+        pass
+
+    def add(self, name: str, seconds: float) -> None:
+        pass
+
+    def region(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def kernel_timers(self) -> KernelTimers:
+        return KernelTimers()
+
+    def metrics(self) -> dict:
+        return {"counters": {}, "gauges": {}, "buckets": {},
+                "bucket_counts": {}, "n_events": 0}
+
+
+#: The process-wide disabled tracer (shared; never records anything).
+NULL_TRACER = NullTracer()
+
+_ACTIVE: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The active tracer; :data:`NULL_TRACER` unless one was installed."""
+    return _ACTIVE
+
+
+def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
+    """Install ``tracer`` as the active tracer (``None`` disables). Returns it."""
+    global _ACTIVE
+    _ACTIVE = tracer if tracer is not None else NULL_TRACER
+    return _ACTIVE
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | NullTracer | None):
+    """Scoped :func:`set_tracer`; restores the previous tracer on exit."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer if tracer is not None else NULL_TRACER
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous

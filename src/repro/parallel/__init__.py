@@ -27,6 +27,7 @@ from repro.parallel.manager_worker import (
     ScheduleComparison,
     WorkItem,
     list_schedule_makespan,
+    replay_schedule,
     static_block_column_makespan,
 )
 from repro.parallel.rpa_parallel import (
@@ -53,6 +54,7 @@ __all__ = [
     "WorkItem",
     "ScheduleComparison",
     "list_schedule_makespan",
+    "replay_schedule",
     "static_block_column_makespan",
     "Chi0WorkloadProfiler",
     "ParallelRPAResult",

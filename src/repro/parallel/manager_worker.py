@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.sternheimer import Chi0Operator
+from repro.obs.tracer import get_tracer
 from repro.parallel.distribution import BlockColumnDistribution
 
 
@@ -64,6 +65,34 @@ def list_schedule_makespan(durations, p: int, lpt: bool = True) -> float:
         earliest = heapq.heappop(heap)
         heapq.heappush(heap, earliest + d)
     return max(heap)
+
+
+def replay_schedule(items: list[WorkItem], p: int, tracer=None,
+                    lpt: bool = True) -> float:
+    """Greedy list-schedule ``items`` on ``p`` workers, emitting the timeline.
+
+    Reconstructs the exact assignment :func:`list_schedule_makespan` would
+    produce and records each item as a virtual-time span on its worker's
+    rank (``domain="virtual"``), so the manager-worker schedule can be
+    inspected in the Chrome trace viewer. Returns the makespan. ``tracer``
+    defaults to the active tracer; with tracing disabled this is just a
+    makespan computation.
+    """
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    tracer = tracer if tracer is not None else get_tracer()
+    order = sorted(items, key=lambda it: it.seconds, reverse=True) if lpt else list(items)
+    # (finish_time, worker) heap; ties broken by worker id for determinism.
+    heap = [(0.0, w) for w in range(p)]
+    heapq.heapify(heap)
+    for item in order:
+        t, w = heapq.heappop(heap)
+        if tracer.enabled and item.seconds > 0:
+            tracer.record("work_item", t, duration=item.seconds, rank=w,
+                          domain="virtual", orbital=item.orbital,
+                          columns=item.columns)
+        heapq.heappush(heap, (t + item.seconds, w))
+    return max(t for t, _ in heap)
 
 
 def static_block_column_makespan(items: list[WorkItem], n_cols: int, p: int) -> float:
@@ -119,11 +148,13 @@ class Chi0WorkloadProfiler:
             raise ValueError(f"expected (n_d, n_v) block, got {V.shape}")
         items: list[WorkItem] = []
         n_v = V.shape[1]
+        tracer = get_tracer()
         for j in range(self.op.n_occupied):
             for start in range(0, n_v, self.chunk):
                 stop = min(start + self.chunk, n_v)
-                t0 = time.perf_counter()
-                self.op._solve_orbital(j, V[:, start:stop], omega)
+                with tracer.span("work_item", orbital=j, columns=(start, stop)):
+                    t0 = time.perf_counter()
+                    self.op._solve_orbital(j, V[:, start:stop], omega)
                 items.append(WorkItem(j, (start, stop), time.perf_counter() - t0))
         return items
 

@@ -49,6 +49,7 @@ from repro.parallel.distribution import (
     BlockColumnDistribution,
     block_cyclic_redistribution_bytes,
 )
+from repro.obs.tracer import get_tracer
 from repro.parallel.virtual_clock import VirtualClocks
 from repro.utils.rng import default_rng
 
@@ -159,7 +160,8 @@ def compute_rpa_energy_parallel(
         max_block_size=block_cap,
     )
 
-    phases = _Phases(clocks=VirtualClocks(n_ranks))
+    tracer = get_tracer()
+    phases = _Phases(clocks=VirtualClocks(n_ranks, tracer=tracer))
     phases.per_rank_chi0 = np.zeros(n_ranks)
 
     def rankwise_apply(V: np.ndarray, omega: float) -> np.ndarray:
@@ -171,7 +173,7 @@ def compute_rpa_energy_parallel(
             t0 = time.perf_counter()
             W[:, sl] = chi0op.apply_symmetrized(V[:, sl], omega)
             durations[r] = time.perf_counter() - t0
-            phases.clocks.advance(r, durations[r])
+            phases.clocks.advance(r, durations[r], label="chi0_apply")
         phases.last_apply_per_rank = durations
         phases.per_rank_chi0 += durations
         before = phases.breakdown["chi0_apply"]
@@ -184,34 +186,44 @@ def compute_rpa_energy_parallel(
 
     energy = 0.0
     points: list[ParallelPointRecord] = []
-    for k in range(1, len(quad) + 1):
-        omega = float(quad.points[k - 1])
-        weight = float(quad.weights[k - 1])
-        t_point0 = phases.clocks.elapsed
-        vals, V, converged, iters = _parallel_subspace(
-            rankwise_apply,
-            V,
-            omega,
-            tol=config.tol_subspace_for(k),
-            degree=config.filter_degree,
-            max_iterations=config.max_filter_iterations,
-            phases=phases,
-            machine=machine,
-            p=n_ranks,
-        )
-        e_k = trace_from_eigenvalues(vals)
-        energy += weight * e_k / (2.0 * np.pi)
-        points.append(
-            ParallelPointRecord(
-                index=k,
-                omega=omega,
-                weight=weight,
-                energy_term=e_k,
-                filter_iterations=iters,
-                converged=converged,
-                simulated_seconds=phases.clocks.elapsed - t_point0,
+    with tracer.span("rpa_energy_parallel", system=dft.crystal.label,
+                     n_ranks=n_ranks, n_eig=config.n_eig,
+                     block_size_cap=block_cap):
+        for k in range(1, len(quad) + 1):
+            omega = float(quad.points[k - 1])
+            weight = float(quad.weights[k - 1])
+            t_point0 = phases.clocks.elapsed
+            vals, V, converged, iters = _parallel_subspace(
+                rankwise_apply,
+                V,
+                omega,
+                tol=config.tol_subspace_for(k),
+                degree=config.filter_degree,
+                max_iterations=config.max_filter_iterations,
+                phases=phases,
+                machine=machine,
+                p=n_ranks,
             )
-        )
+            e_k = trace_from_eigenvalues(vals)
+            energy += weight * e_k / (2.0 * np.pi)
+            simulated = phases.clocks.elapsed - t_point0
+            if tracer.enabled:
+                # One top-row span per quadrature point on the virtual
+                # timeline, spanning all ranks (rank=None).
+                tracer.record("omega_point", t_point0, end=phases.clocks.elapsed,
+                              domain="virtual", index=k, omega=omega,
+                              filter_iterations=iters, converged=converged)
+            points.append(
+                ParallelPointRecord(
+                    index=k,
+                    omega=omega,
+                    weight=weight,
+                    energy_term=e_k,
+                    filter_iterations=iters,
+                    converged=converged,
+                    simulated_seconds=simulated,
+                )
+            )
 
     return ParallelRPAResult(
         energy=energy,
@@ -301,8 +313,9 @@ def _parallel_rayleigh_ritz(V, W, phases: _Phases, machine: MachineProfile, p: i
     eig = eigensolve_parallel_time(machine, t_eig, p)
     phases.breakdown["matmult"] += mm + redist
     phases.breakdown["eigensolve"] += eig
-    phases.clocks.synchronize(redist)
-    phases.clocks.advance_all(mm + eig)
+    phases.clocks.synchronize(redist, label="redistribute")
+    phases.clocks.advance_all(mm, label="matmult")
+    phases.clocks.advance_all(eig, label="eigensolve")
     return vals, V, W
 
 
@@ -316,10 +329,10 @@ def _parallel_eq7(V, W, vals, phases: _Phases, machine: MachineProfile, p: int) 
     durations = phases.last_apply_per_rank
     if durations is not None:
         for r in range(p):
-            phases.clocks.advance(r, float(durations[r]))
+            phases.clocks.advance(r, float(durations[r]), label="eval_error")
         phases.breakdown["eval_error"] += float(durations.max())
     comm = allreduce_time(machine, 8.0, p)  # one scalar per rank
-    phases.clocks.synchronize(comm)
+    phases.clocks.synchronize(comm, label="allreduce")
     R = W - V * vals
     num = np.linalg.norm(R, axis=0).sum()
     den = len(vals) * np.sqrt(np.sum(vals**2))

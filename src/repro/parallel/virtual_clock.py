@@ -5,6 +5,13 @@ measured (or modeled) duration, while collectives synchronize all clocks to
 the maximum and add the modeled communication time. The simulated walltime
 of a run is the final maximum clock value — exactly how an MPI program's
 elapsed time is governed by its slowest rank plus communication.
+
+When constructed with a :class:`repro.obs.Tracer`, every charge is also
+recorded as a *virtual-time span* (``domain="virtual"``, the rank as the
+span's rank): ``advance``/``advance_all`` emit work spans, and
+``synchronize`` emits per-rank ``idle`` spans for the barrier wait plus
+``comm`` spans for the collective. The Chrome-trace exporter renders these
+per-rank timelines as synthetic threads of a "virtual" process.
 """
 
 from __future__ import annotations
@@ -13,31 +20,49 @@ import numpy as np
 
 
 class VirtualClocks:
-    """A vector of per-rank clocks with phase bookkeeping."""
+    """A vector of per-rank clocks with phase bookkeeping.
 
-    def __init__(self, n_ranks: int) -> None:
+    Parameters
+    ----------
+    n_ranks:
+        Number of simulated ranks.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; when given (and enabled) every
+        clock charge is mirrored as a span on the ``"virtual"`` timeline.
+    """
+
+    def __init__(self, n_ranks: int, tracer=None) -> None:
         if n_ranks < 1:
             raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
         self.n_ranks = int(n_ranks)
         self._t = np.zeros(self.n_ranks)
         self.comm_seconds = 0.0
         self.imbalance_seconds = 0.0
+        self._tracer = tracer if (tracer is not None and tracer.enabled) else None
 
-    def advance(self, rank: int, seconds: float) -> None:
+    def advance(self, rank: int, seconds: float, label: str = "work") -> None:
         """Charge local work to one rank."""
         if not 0 <= rank < self.n_ranks:
             raise ValueError(f"rank {rank} out of range 0..{self.n_ranks - 1}")
         if seconds < 0:
             raise ValueError("cannot advance a clock by negative time")
-        self._t[rank] += seconds
+        t0 = float(self._t[rank])
+        self._t[rank] = t0 + seconds
+        if self._tracer is not None and seconds > 0:
+            self._tracer.record(label, t0, duration=seconds, rank=rank,
+                                domain="virtual")
 
-    def advance_all(self, seconds: float) -> None:
+    def advance_all(self, seconds: float, label: str = "work") -> None:
         """Charge identical (replicated) work to every rank."""
         if seconds < 0:
             raise ValueError("cannot advance clocks by negative time")
+        if self._tracer is not None and seconds > 0:
+            for r in range(self.n_ranks):
+                self._tracer.record(label, float(self._t[r]), duration=seconds,
+                                    rank=r, domain="virtual")
         self._t += seconds
 
-    def synchronize(self, comm_seconds: float = 0.0) -> float:
+    def synchronize(self, comm_seconds: float = 0.0, label: str = "comm") -> float:
         """Barrier + optional collective: align clocks to the maximum.
 
         Records the idle time the slower ranks impose (load imbalance) and
@@ -47,6 +72,15 @@ class VirtualClocks:
             raise ValueError("communication time must be non-negative")
         peak = float(self._t.max())
         self.imbalance_seconds += float((peak - self._t).sum()) / self.n_ranks
+        if self._tracer is not None:
+            for r in range(self.n_ranks):
+                gap = peak - float(self._t[r])
+                if gap > 0:
+                    self._tracer.record("idle", float(self._t[r]), duration=gap,
+                                        rank=r, domain="virtual")
+                if comm_seconds > 0:
+                    self._tracer.record(label, peak, duration=comm_seconds,
+                                        rank=r, domain="virtual")
         self._t[:] = peak + comm_seconds
         self.comm_seconds += comm_seconds
         return float(self._t[0])

@@ -18,7 +18,12 @@ from repro.solvers.gmres import gmres_solve
 from repro.solvers.linear_operator import CountingOperator, as_operator
 from repro.solvers.preconditioner import ShiftedLaplacianPreconditioner, should_precondition
 from repro.solvers.seed import seed_solve
-from repro.solvers.stats import BlockSizeDecision, DynamicSolveResult, SolveResult
+from repro.solvers.stats import (
+    BlockSizeDecision,
+    DynamicSolveResult,
+    SolveResult,
+    SolveSummary,
+)
 
 __all__ = [
     "cg_solve",
@@ -36,6 +41,7 @@ __all__ = [
     "CountingOperator",
     "as_operator",
     "SolveResult",
+    "SolveSummary",
     "DynamicSolveResult",
     "BlockSizeDecision",
 ]

@@ -32,6 +32,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs.tracer import get_tracer
 from repro.solvers.linear_operator import as_operator
 from repro.solvers.stats import SolveResult
 
@@ -108,10 +109,22 @@ def block_cocg_solve(
     best_Y = Y.copy()
     best_res = np.inf
 
+    tracer = get_tracer()
+    t_solve = tracer.now() if tracer.enabled else 0.0
+
     def _result(converged: bool, iterations: int, history, breakdown: bool = False) -> SolveResult:
         sol = best_Y if breakdown else Y
         sol_out = sol[:, 0] if squeeze else sol
         final = min(history[-1], best_res) if breakdown else history[-1]
+        if tracer.enabled:
+            tracer.record(
+                "cocg_solve", t_solve, block_size=s, iterations=iterations,
+                n_matvec=A.n_applies, residual=final, converged=converged,
+                breakdown=breakdown,
+            )
+            if breakdown:
+                tracer.event("cocg_breakdown", block_size=s, iteration=iterations)
+                tracer.incr("cocg_breakdowns")
         return SolveResult(
             sol_out,
             converged,
@@ -135,6 +148,7 @@ def block_cocg_solve(
     since_improvement = 0
 
     for it in range(1, max_iterations + 1):
+        t_iter = tracer.now() if tracer.enabled else 0.0
         U = A(P)
         mu = P.T @ U
         alpha = _small_solve(mu, rho)
@@ -144,6 +158,9 @@ def block_cocg_solve(
         W -= U @ alpha
         rel = float(np.linalg.norm(W)) / b_norm
         history.append(rel)
+        if tracer.enabled:
+            tracer.record("cocg_iteration", t_iter, iteration=it,
+                          block_size=s, residual=rel)
         if not np.isfinite(rel):
             return _result(False, it, history, breakdown=True)
         if rel < best_res:

@@ -20,8 +20,14 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs.tracer import get_tracer
 from repro.solvers.block_cocg import block_cocg_solve
-from repro.solvers.stats import BlockSizeDecision, DynamicSolveResult, SolveResult
+from repro.solvers.stats import (
+    BlockSizeDecision,
+    DynamicSolveResult,
+    SolveResult,
+    SolveSummary,
+)
 
 CostFn = Callable[[SolveResult, float], float]
 
@@ -97,12 +103,20 @@ def solve_with_dynamic_block_size(
         if x0.shape != b.shape:
             raise ValueError(f"x0 shape {x0.shape} != rhs shape {b.shape}")
     measure = cost_fn if cost_fn is not None else (lambda _res, wall: wall)
+    tracer = get_tracer()
 
     Y = np.empty(b.shape, dtype=complex)
     decisions: list[BlockSizeDecision] = []
     chunk_results: list[SolveResult] = []
     counts: dict[int, int] = {}
     next_col = 0
+
+    def _note_decision(decision: BlockSizeDecision) -> None:
+        decisions.append(decision)
+        if tracer.enabled:
+            tracer.event("block_size_decision", block_size=decision.block_size,
+                         columns=decision.columns, cost=decision.cost,
+                         accepted=decision.accepted)
 
     def _solve_chunk(s: int) -> tuple[SolveResult, float, int]:
         nonlocal next_col
@@ -125,7 +139,7 @@ def solve_with_dynamic_block_size(
     # -- probe phase (Algorithm 4 lines 1-12) --------------------------------
     res, t_old, cols_old = _solve_chunk(1)
     s = 1
-    decisions.append(BlockSizeDecision(1, cols_old, t_old, accepted=True))
+    _note_decision(BlockSizeDecision(1, cols_old, t_old, accepted=True))
     if next_col < n_rhs and max_block_size >= 2:
         res, t_new, cols_new = _solve_chunk(2)
         s = 2
@@ -133,7 +147,7 @@ def solve_with_dynamic_block_size(
             # Per-column cost comparison == the paper's t_new <= 2 t_old for
             # full chunks, but stays fair for ragged trailing chunks.
             efficient = (t_new / cols_new) <= (t_old / cols_old) and not res.breakdown
-            decisions.append(BlockSizeDecision(s, cols_new, t_new, accepted=efficient))
+            _note_decision(BlockSizeDecision(s, cols_new, t_new, accepted=efficient))
             if not efficient:
                 s = max(1, s // 2)
                 break
@@ -145,7 +159,7 @@ def solve_with_dynamic_block_size(
         else:
             # Queue exhausted during probing; record the final probe verdict.
             efficient = (t_new / cols_new) <= (t_old / cols_old) and not res.breakdown
-            decisions.append(BlockSizeDecision(s, cols_new, t_new, accepted=efficient))
+            _note_decision(BlockSizeDecision(s, cols_new, t_new, accepted=efficient))
             if not efficient:
                 s = max(1, s // 2)
 
@@ -153,14 +167,16 @@ def solve_with_dynamic_block_size(
     while next_col < n_rhs:
         _solve_chunk(s)
 
-    converged = all(r.converged for r in chunk_results)
+    summary = SolveSummary.of(chunk_results)
+    if tracer.enabled:
+        tracer.gauge("selected_block_size", s, n_rhs=n_rhs)
     return DynamicSolveResult(
         solution=Y,
-        converged=converged,
+        converged=summary.converged,
         selected_block_size=s,
         block_size_counts=counts,
         decisions=decisions,
         chunk_results=chunk_results,
-        total_iterations=sum(r.iterations for r in chunk_results),
-        n_matvec=sum(r.n_matvec for r in chunk_results),
+        total_iterations=summary.iterations,
+        n_matvec=summary.n_matvec,
     )

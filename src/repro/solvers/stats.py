@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
@@ -45,6 +46,63 @@ class SolveResult:
         if self.iterations < 0:
             raise ValueError("iterations must be non-negative")
 
+    @staticmethod
+    def summarize(results: "Iterable[SolveResult]") -> "SolveSummary":
+        """Aggregate several block solves; see :class:`SolveSummary`."""
+        return SolveSummary.of(results)
+
+
+@dataclass
+class SolveSummary:
+    """Totals over a set of (block) solves.
+
+    Replaces the hand-summed ``sum(r.n_matvec for r in ...)`` /
+    ``sum(r.iterations for r in ...)`` idiom that used to be repeated in
+    ``repro.core.sternheimer`` and ``repro.solvers.block_size``:
+    accumulate once here, merge anywhere.
+    """
+
+    n_solves: int = 0
+    n_systems: int = 0
+    iterations: int = 0
+    n_matvec: int = 0
+    n_breakdowns: int = 0
+    n_unconverged: int = 0
+    block_size_counts: dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, results: Iterable[SolveResult]) -> "SolveSummary":
+        """Summary of an iterable of :class:`SolveResult`."""
+        summary = cls()
+        for r in results:
+            summary.n_solves += 1
+            summary.n_systems += r.block_size
+            summary.iterations += r.iterations
+            summary.n_matvec += r.n_matvec
+            summary.n_breakdowns += int(r.breakdown)
+            summary.n_unconverged += int(not r.converged)
+            summary.block_size_counts[r.block_size] = (
+                summary.block_size_counts.get(r.block_size, 0) + 1
+            )
+        return summary
+
+    def merge(self, other: "SolveSummary") -> "SolveSummary":
+        """In-place accumulate ``other``; returns ``self`` for chaining."""
+        self.n_solves += other.n_solves
+        self.n_systems += other.n_systems
+        self.iterations += other.iterations
+        self.n_matvec += other.n_matvec
+        self.n_breakdowns += other.n_breakdowns
+        self.n_unconverged += other.n_unconverged
+        for k, v in other.block_size_counts.items():
+            self.block_size_counts[k] = self.block_size_counts.get(k, 0) + v
+        return self
+
+    @property
+    def converged(self) -> bool:
+        """True when at least one solve ran and none failed to converge."""
+        return self.n_solves > 0 and self.n_unconverged == 0
+
 
 @dataclass
 class BlockSizeDecision:
@@ -78,3 +136,7 @@ class DynamicSolveResult:
         if not self.chunk_results:
             return 0.0
         return max(r.residual_norm for r in self.chunk_results)
+
+    def summary(self) -> SolveSummary:
+        """Aggregate totals over the per-chunk solves."""
+        return SolveSummary.of(self.chunk_results)

@@ -5,6 +5,11 @@ accumulates named wall-clock buckets; ``Timer`` is a context manager for a
 single region. The parallel runtime (``repro.parallel``) uses the same
 interface but charges *virtual* time instead; both satisfy the small
 ``add(name, seconds)`` protocol.
+
+``repro.obs.Tracer`` satisfies the same protocol (``add`` + ``region``) and
+additionally records every region as a span; ``Tracer.kernel_timers()``
+returns a ``KernelTimers`` constructed over the tracer's own dicts, i.e. a
+live shared view, so code holding either object sees one set of buckets.
 """
 
 from __future__ import annotations

@@ -67,3 +67,18 @@ class TestFormatTable:
         out = format_table(["col"], [[123456]])
         body = out.splitlines()
         assert len(body[0]) == len(body[1]) == len(body[2])
+
+    def test_non_finite_floats_render_cleanly(self):
+        out = format_table(["v"], [[float("nan")], [float("inf")],
+                                   [float("-inf")]])
+        body = [line.strip() for line in out.splitlines()[2:]]
+        assert body == ["nan", "inf", "-inf"]
+
+    def test_floating_point_dust_collapses_to_zero(self):
+        out = format_table(["v"], [[-1e-17], [1e-16], [0.0], [-0.0]])
+        body = [line.strip() for line in out.splitlines()[2:]]
+        assert body == ["0", "0", "0", "0"]
+
+    def test_small_but_real_values_keep_sign(self):
+        out = format_table(["v"], [[-1e-6]])
+        assert "-1.000e-06" in out

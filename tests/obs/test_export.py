@@ -1,0 +1,132 @@
+"""Exporters: JSONL round trip, Chrome trace round trip, metrics, manifest."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import RPAConfig
+from repro.obs import Tracer
+from repro.obs.export import (
+    chrome_trace_events,
+    read_chrome_trace,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_manifest,
+    write_metrics,
+)
+from tests.obs.test_tracer import FakeClock
+
+
+@pytest.fixture
+def traced():
+    tr = Tracer(clock=FakeClock(0.5))
+    with tr.span("outer", omega=0.3):
+        with tr.span("inner"):
+            pass
+    tr.record("virt", 1.0, duration=2.0, rank=1, domain="virtual", orbital=3)
+    tr.event("decision", block_size=np.int64(4))
+    tr.gauge("residual", 0.25, iteration=1)
+    tr.incr("matvecs", 7)
+    tr.add("chi0_apply", 1.25)
+    return tr
+
+
+class TestJsonl:
+    def test_round_trip(self, traced, tmp_path):
+        path = write_jsonl(traced, tmp_path / "t.jsonl", meta={"system": "toy"})
+        events, summary = read_jsonl(path)
+        assert len(events) == len(traced.events)
+        assert summary["counters"] == {"matvecs": 7}
+        assert summary["buckets"] == {"chi0_apply": 1.25}
+        names = [e["name"] for e in events]
+        assert "outer" in names and "virt" in names and "decision" in names
+
+    def test_header_first_line(self, traced, tmp_path):
+        path = write_jsonl(traced, tmp_path / "t.jsonl")
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["type"] == "trace_header" and first["version"] == 1
+
+    def test_numpy_scalars_serialized(self, traced, tmp_path):
+        path = write_jsonl(traced, tmp_path / "t.jsonl")
+        events, _ = read_jsonl(path)
+        decision = next(e for e in events if e["name"] == "decision")
+        assert decision["attrs"]["block_size"] == 4
+
+    def test_truncated_stream_still_loads(self, traced, tmp_path):
+        path = write_jsonl(traced, tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop the summary
+        events, summary = read_jsonl(path)
+        assert len(events) == len(traced.events)
+        assert summary == {}
+
+
+class TestChromeTrace:
+    def test_events_structure(self, traced):
+        out = chrome_trace_events(traced.events)
+        phases = {e["ph"] for e in out}
+        assert {"X", "i", "C", "M"} <= phases
+        procs = {e["args"]["name"] for e in out
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert procs == {"wall", "virtual"}
+        spans = [e for e in out if e["ph"] == "X"]
+        assert all(e["dur"] >= 0 for e in spans)
+        # Microsecond timestamps.
+        virt = next(e for e in spans if e["name"] == "virt")
+        assert virt["ts"] == pytest.approx(1.0e6)
+        assert virt["dur"] == pytest.approx(2.0e6)
+        assert virt["tid"] == 1
+
+    def test_rank_threads_named(self, traced):
+        out = chrome_trace_events(traced.events)
+        threads = {(e["pid"], e["args"]["name"]) for e in out
+                   if e["ph"] == "M" and e["name"] == "thread_name"}
+        names = {n for _, n in threads}
+        assert "main" in names and "rank 1" in names
+
+    def test_round_trip(self, traced, tmp_path):
+        path = write_chrome_trace(traced, tmp_path / "t.chrome.json")
+        events = read_chrome_trace(path)
+        spans = [e for e in events if e["type"] == "span"]
+        by_name = {e["name"]: e for e in spans}
+        assert by_name["virt"]["domain"] == "virtual"
+        assert by_name["virt"]["rank"] == 1
+        assert by_name["virt"]["ts"] == pytest.approx(1.0)
+        assert by_name["virt"]["dur"] == pytest.approx(2.0)
+        assert by_name["virt"]["attrs"]["orbital"] == 3
+        assert by_name["outer"]["domain"] == "wall"
+        # Nesting is preserved through ts/dur containment.
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert outer["ts"] <= inner["ts"]
+        assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+
+    def test_write_accepts_event_list(self, traced, tmp_path):
+        path = write_chrome_trace(traced.events, tmp_path / "l.json")
+        assert read_chrome_trace(path)
+
+
+class TestMetricsAndManifest:
+    def test_metrics_file(self, traced, tmp_path):
+        path = write_metrics(traced, tmp_path / "m.json", extra={"system": "toy"})
+        payload = json.loads(path.read_text())
+        assert payload["counters"] == {"matvecs": 7}
+        assert payload["system"] == "toy"
+
+    def test_manifest_contents(self, traced, tmp_path):
+        cfg = RPAConfig(n_eig=16, seed=3)
+        path = write_manifest(tmp_path / "run.manifest.json", config=cfg,
+                              tracer=traced, system="toy", energy=-0.13)
+        m = json.loads(path.read_text())
+        assert m["schema"] == 1
+        assert m["config"]["n_eig"] == 16 and m["config"]["seed"] == 3
+        assert m["timings"] == {"chi0_apply": 1.25}
+        assert m["counters"] == {"matvecs": 7}
+        assert m["system"] == "toy" and m["energy"] == -0.13
+        assert "git_rev" in m and "timestamp" in m
+
+    def test_manifest_without_tracer_or_config(self, tmp_path):
+        path = write_manifest(tmp_path / "bare.json", note="hi")
+        m = json.loads(path.read_text())
+        assert m["note"] == "hi" and "config" not in m and "timings" not in m

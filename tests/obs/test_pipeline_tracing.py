@@ -1,0 +1,173 @@
+"""End-to-end observability: pipeline spans, virtual timelines, CLI flags."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import chrome_trace_path, main
+from repro.config import RPAConfig
+from repro.core.rpa_energy import compute_rpa_energy
+from repro.obs import NULL_TRACER, Tracer, use_tracer
+from repro.obs.export import read_jsonl
+from repro.obs.report import kernel_breakdown, load_events
+from repro.parallel.virtual_clock import VirtualClocks
+
+
+def _contains(outer, inner):
+    return (outer["ts"] <= inner["ts"] + 1e-12
+            and outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"] - 1e-12)
+
+
+@pytest.fixture(scope="module")
+def traced_run(toy_dft):
+    tr = Tracer()
+    cfg = RPAConfig(n_eig=12, n_quadrature=2, seed=0)
+    with use_tracer(tr):
+        result = compute_rpa_energy(toy_dft, cfg)
+    return tr, result
+
+
+class TestPipelineSpans:
+    def test_span_hierarchy_chain(self, traced_run):
+        tr, _ = traced_run
+        spans = [e for e in tr.events if e["type"] == "span"]
+        by = lambda n: [s for s in spans if s["name"] == n]
+        rpa = by("rpa_energy")
+        assert len(rpa) == 1
+        omegas = by("omega_point")
+        assert len(omegas) == 2
+        sterns = by("sternheimer_solve")
+        cocgs = by("cocg_iteration")
+        assert sterns and cocgs
+        # rpa_energy > omega_point > sternheimer_solve > cocg_iteration.
+        assert all(_contains(rpa[0], o) for o in omegas)
+        assert all(any(_contains(o, s) for o in omegas) for s in sterns)
+        assert all(any(_contains(s, c) for s in sterns) for c in cocgs)
+
+    def test_counters_match_solver_stats(self, traced_run):
+        tr, result = traced_run
+        assert tr.counters["matvecs"] == result.stats.n_matvec
+        assert tr.counters["cocg_iterations"] == result.stats.total_iterations
+        assert tr.counters["sternheimer_block_solves"] == result.stats.n_block_solves
+        assert tr.counters["omega_points"] == len(result.points)
+        assert tr.counters["flops_est"] > 0
+
+    def test_result_timers_are_tracer_view(self, traced_run):
+        tr, result = traced_run
+        assert result.timers.buckets is tr.buckets
+        for kernel in ("chi0_apply", "matmult", "eigensolve", "eval_error"):
+            assert result.timers.get(kernel) > 0
+
+    def test_disabled_tracer_collects_nothing(self, toy_dft):
+        cfg = RPAConfig(n_eig=12, n_quadrature=2, seed=0)
+        with use_tracer(None):
+            result = compute_rpa_energy(toy_dft, cfg)
+        assert NULL_TRACER.events == []
+        assert NULL_TRACER.counters == {}
+        # The run still gets private wall-clock kernel buckets.
+        assert result.timers.buckets is not NULL_TRACER.buckets
+        assert result.timers.get("chi0_apply") > 0
+
+    def test_enabled_and_disabled_energies_agree(self, traced_run, toy_dft):
+        _, traced_result = traced_run
+        cfg = RPAConfig(n_eig=12, n_quadrature=2, seed=0)
+        plain = compute_rpa_energy(toy_dft, cfg)
+        assert plain.energy == pytest.approx(traced_result.energy, rel=1e-12)
+
+
+class TestVirtualClockSpans:
+    def test_advance_emits_work_span(self):
+        tr = Tracer()
+        clocks = VirtualClocks(2, tracer=tr)
+        clocks.advance(1, 2.0, label="chi0_apply")
+        (ev,) = tr.events
+        assert ev["name"] == "chi0_apply" and ev["domain"] == "virtual"
+        assert ev["rank"] == 1 and ev["ts"] == 0.0 and ev["dur"] == 2.0
+
+    def test_synchronize_emits_idle_and_comm(self):
+        tr = Tracer()
+        clocks = VirtualClocks(2, tracer=tr)
+        clocks.advance(0, 3.0)
+        clocks.synchronize(0.5, label="allreduce")
+        names = sorted(e["name"] for e in tr.events)
+        assert names == ["allreduce", "allreduce", "idle", "work"]
+        idle = next(e for e in tr.events if e["name"] == "idle")
+        assert idle["rank"] == 1 and idle["dur"] == pytest.approx(3.0)
+        assert clocks.elapsed == pytest.approx(3.5)
+
+    def test_advance_all_emits_per_rank(self):
+        tr = Tracer()
+        clocks = VirtualClocks(3, tracer=tr)
+        clocks.advance_all(1.0, label="eigensolve")
+        assert [e["rank"] for e in tr.events] == [0, 1, 2]
+        assert all(e["dur"] == 1.0 for e in tr.events)
+
+    def test_span_sums_reproduce_clock_state(self):
+        tr = Tracer()
+        clocks = VirtualClocks(2, tracer=tr)
+        clocks.advance(0, 1.0)
+        clocks.advance(1, 4.0)
+        clocks.synchronize(0.25)
+        clocks.advance_all(0.5)
+        per_rank = np.zeros(2)
+        for e in tr.events:
+            per_rank[e["rank"]] += e["dur"]
+        assert per_rank[0] == pytest.approx(clocks.per_rank()[0])
+        assert per_rank[1] == pytest.approx(clocks.per_rank()[1])
+
+    def test_untraced_clocks_unchanged(self):
+        clocks = VirtualClocks(2)
+        clocks.advance(0, 1.0, label="chi0_apply")
+        clocks.synchronize(0.1)
+        assert clocks.elapsed == pytest.approx(1.1)
+
+
+class TestCliObservability:
+    ARGS = ["--system", "toy", "--n-eig", "12"]
+
+    def test_trace_flag_writes_both_formats(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace.jsonl"
+        rc = main(self.ARGS + ["--trace", str(trace)])
+        assert rc == 0
+        events, summary = read_jsonl(trace)
+        assert events and summary["counters"]["matvecs"] > 0
+        chrome = tmp_path / "run.trace.chrome.json"
+        assert chrome.exists()
+        bd = kernel_breakdown(load_events(chrome))
+        assert bd["chi0_apply"]["seconds"] > 0
+
+    def test_metrics_and_manifest(self, tmp_path, capsys):
+        out = tmp_path / "toy.out"
+        metrics = tmp_path / "m.json"
+        rc = main(self.ARGS + ["--output", str(out), "--metrics", str(metrics)])
+        assert rc == 0
+        m = json.loads(metrics.read_text())
+        assert m["system"] == "toy" and m["counters"]["matvecs"] > 0
+        manifest = json.loads((tmp_path / "toy.out.manifest.json").read_text())
+        assert manifest["config"]["n_eig"] == 12
+        assert manifest["timings"]["chi0_apply"] > 0
+        assert manifest["energy"] == pytest.approx(m["energy"])
+
+    def test_no_obs_skips_export(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        rc = main(self.ARGS + ["--no-obs", "--trace", str(trace)])
+        assert rc == 0
+        assert not trace.exists()
+        assert "skipping trace" in capsys.readouterr().err
+
+    def test_parallel_run_emits_virtual_spans(self, tmp_path, capsys):
+        trace = tmp_path / "par.jsonl"
+        rc = main(self.ARGS + ["--ranks", "3", "--trace", str(trace)])
+        assert rc == 0
+        events, _ = read_jsonl(trace)
+        virt = [e for e in events
+                if e["type"] == "span" and e["domain"] == "virtual"]
+        assert {e["name"] for e in virt} >= {"chi0_apply", "matmult",
+                                             "eigensolve", "eval_error"}
+        assert {e["rank"] for e in virt if e["rank"] is not None} == {0, 1, 2}
+
+
+def test_chrome_trace_path():
+    assert chrome_trace_path("a/run.trace.jsonl") == "a/run.trace.chrome.json"
+    assert chrome_trace_path("run.trace") == "run.trace.chrome.json"

@@ -1,0 +1,104 @@
+"""Trace-file reporting: breakdown aggregation and the report CLI."""
+
+import pytest
+
+from repro.obs import Tracer, write_chrome_trace, write_jsonl
+from repro.obs.report import breakdown_table, kernel_breakdown, load_events, main
+from tests.obs.test_tracer import FakeClock
+
+
+def _span(name, ts, dur, rank=None, domain="wall"):
+    return {"type": "span", "name": name, "ts": ts, "dur": dur,
+            "depth": 0, "rank": rank, "domain": domain, "attrs": {}}
+
+
+class TestKernelBreakdown:
+    def test_sums_per_kernel(self):
+        events = [_span("chi0_apply", 0.0, 1.0), _span("chi0_apply", 1.0, 2.0),
+                  _span("matmult", 3.0, 0.5)]
+        bd = kernel_breakdown(events)
+        assert bd["chi0_apply"]["seconds"] == pytest.approx(3.0)
+        assert bd["chi0_apply"]["count"] == 2
+        assert bd["matmult"]["seconds"] == pytest.approx(0.5)
+
+    def test_slowest_rank_semantics(self):
+        events = [_span("chi0_apply", 0.0, 1.0, rank=0, domain="virtual"),
+                  _span("chi0_apply", 0.0, 4.0, rank=1, domain="virtual"),
+                  _span("chi0_apply", 1.0, 1.0, rank=0, domain="virtual")]
+        bd = kernel_breakdown(events)
+        # rank 0 totals 2.0, rank 1 totals 4.0 -> report the slowest rank.
+        assert bd["chi0_apply"]["seconds"] == pytest.approx(4.0)
+        assert bd["chi0_apply"]["per_rank"] == {
+            "virtual:0": pytest.approx(2.0), "virtual:1": pytest.approx(4.0)}
+
+    def test_kernel_and_domain_filters(self):
+        events = [_span("chi0_apply", 0.0, 1.0),
+                  _span("chi0_apply", 0.0, 9.0, rank=0, domain="virtual"),
+                  _span("noise", 0.0, 5.0)]
+        bd = kernel_breakdown(events, kernels=("chi0_apply",), domain="wall")
+        assert set(bd) == {"chi0_apply"}
+        assert bd["chi0_apply"]["seconds"] == pytest.approx(1.0)
+
+    def test_ignores_non_span_events(self):
+        events = [{"type": "instant", "name": "chi0_apply", "ts": 0.0,
+                   "rank": None, "domain": "wall", "attrs": {}}]
+        assert kernel_breakdown(events) == {}
+
+
+class TestBreakdownTable:
+    def test_fig5_table_shape(self):
+        events = [_span("chi0_apply", 0.0, 3.0), _span("matmult", 3.0, 1.0),
+                  _span("eigensolve", 4.0, 0.5), _span("eval_error", 4.5, 0.5)]
+        table = breakdown_table(events)
+        lines = table.splitlines()
+        assert "kernel" in lines[1] and "share" in lines[1]
+        assert any(line.startswith("chi0_apply") and "60.0%" in line
+                   for line in lines)
+        assert lines[-1].startswith("total") and "100.0%" in lines[-1]
+
+    def test_empty_trace_renders_zero_total(self):
+        table = breakdown_table([])
+        assert table.splitlines()[-1].startswith("total")
+
+    def test_all_spans_mode_orders_by_time(self):
+        events = [_span("b", 0.0, 1.0), _span("a", 0.0, 2.0)]
+        table = breakdown_table(events, kernels=None)
+        body = table.splitlines()[3:]
+        assert body[0].startswith("a") and body[1].startswith("b")
+
+
+class TestLoadEventsAndCli:
+    @pytest.fixture
+    def tracer(self):
+        tr = Tracer(clock=FakeClock(0.25))
+        with tr.region("chi0_apply"):
+            with tr.region("matmult"):
+                pass
+        tr.record("chi0_apply", 0.0, duration=1.0, rank=1, domain="virtual")
+        return tr
+
+    def test_load_jsonl_and_chrome_agree(self, tracer, tmp_path):
+        j = write_jsonl(tracer, tmp_path / "t.jsonl")
+        c = write_chrome_trace(tracer, tmp_path / "t.chrome.json")
+        bd_j = kernel_breakdown(load_events(j))
+        bd_c = kernel_breakdown(load_events(c))
+        assert bd_j["chi0_apply"]["seconds"] == pytest.approx(
+            bd_c["chi0_apply"]["seconds"])
+        assert bd_j["matmult"]["count"] == bd_c["matmult"]["count"]
+
+    def test_cli_renders_table(self, tracer, tmp_path, capsys):
+        path = write_jsonl(tracer, tmp_path / "t.jsonl")
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "chi0_apply" in out and "total" in out
+
+    def test_cli_domain_filter(self, tracer, tmp_path, capsys):
+        path = write_jsonl(tracer, tmp_path / "t.jsonl")
+        assert main([str(path), "--domain", "virtual"]) == 0
+        out = capsys.readouterr().out
+        assert "chi0_apply" in out and "matmult" not in out.split("-+-")[-1]
+
+    def test_cli_empty_trace_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main([str(empty)]) == 1

@@ -1,0 +1,209 @@
+"""Tracer core: spans, counters, the KernelTimers protocol, null path."""
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    FIG5_KERNELS,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+from repro.obs.tracer import _NULL_SPAN
+from repro.utils.timing import KernelTimers
+
+
+class FakeClock:
+    """Deterministic clock: every call advances by ``step`` seconds."""
+
+    def __init__(self, step=1.0):
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self):
+        t = self.t
+        self.t += self.step
+        return t
+
+
+class TestSpans:
+    def test_nested_spans_record_depth_and_duration(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("outer", index=1):
+            with tr.span("inner"):
+                pass
+        inner, outer = tr.events
+        assert inner["name"] == "inner" and inner["depth"] == 1
+        assert outer["name"] == "outer" and outer["depth"] == 0
+        assert outer["ts"] <= inner["ts"]
+        assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+        assert outer["attrs"] == {"index": 1}
+
+    def test_span_set_attaches_attributes(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("s") as sp:
+            sp.set(error=0.5, converged=True)
+        assert tr.events[0]["attrs"] == {"error": 0.5, "converged": True}
+
+    def test_record_post_hoc_with_duration(self):
+        tr = Tracer(clock=FakeClock())
+        tr.record("iter", 2.0, duration=0.5, iteration=3)
+        (ev,) = tr.events
+        assert ev["ts"] == 2.0 and ev["dur"] == 0.5
+        assert ev["attrs"] == {"iteration": 3}
+
+    def test_record_with_end_stamp_and_rank_domain(self):
+        tr = Tracer(clock=FakeClock())
+        tr.record("work", 1.0, end=4.0, rank=2, domain="virtual")
+        (ev,) = tr.events
+        assert ev["dur"] == 3.0 and ev["rank"] == 2 and ev["domain"] == "virtual"
+
+    def test_default_domain_stamped(self):
+        tr = Tracer(clock=FakeClock(), domain="wall")
+        with tr.span("s"):
+            pass
+        assert tr.events[0]["domain"] == "wall"
+
+    def test_instant_event(self):
+        tr = Tracer(clock=FakeClock())
+        tr.event("decision", block_size=4, accepted=True)
+        (ev,) = tr.events
+        assert ev["type"] == "instant"
+        assert ev["attrs"] == {"block_size": 4, "accepted": True}
+
+
+class TestCountersAndGauges:
+    def test_incr_accumulates(self):
+        tr = Tracer(clock=FakeClock())
+        tr.incr("matvecs")
+        tr.incr("matvecs", 9)
+        assert tr.counters["matvecs"] == 10
+
+    def test_gauge_keeps_last_and_records_event(self):
+        tr = Tracer(clock=FakeClock())
+        tr.gauge("residual", 0.5, iteration=1)
+        tr.gauge("residual", 0.25, iteration=2)
+        assert tr.gauges["residual"] == 0.25
+        assert [e["value"] for e in tr.events] == [0.5, 0.25]
+
+    def test_metrics_payload(self):
+        tr = Tracer(clock=FakeClock())
+        tr.incr("n", 2)
+        tr.add("chi0_apply", 1.5)
+        m = tr.metrics()
+        assert m["counters"] == {"n": 2}
+        assert m["buckets"] == {"chi0_apply": 1.5}
+        assert m["bucket_counts"] == {"chi0_apply": 1}
+
+
+class TestKernelTimersProtocol:
+    def test_add_matches_kernel_timers_semantics(self):
+        tr = Tracer(clock=FakeClock())
+        kt = KernelTimers()
+        for sink in (tr, kt):
+            sink.add("matmult", 1.0)
+            sink.add("matmult", 0.5)
+        assert tr.buckets == kt.buckets
+        assert tr.counts == kt.counts
+
+    def test_add_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Tracer(clock=FakeClock()).add("x", -1.0)
+
+    def test_region_charges_bucket_and_emits_span(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.region("eigensolve"):
+            pass
+        assert tr.buckets["eigensolve"] > 0
+        assert tr.counts["eigensolve"] == 1
+        assert tr.events[0]["name"] == "eigensolve"
+
+    def test_kernel_timers_is_live_shared_view(self):
+        tr = Tracer(clock=FakeClock())
+        view = tr.kernel_timers()
+        tr.add("chi0_apply", 2.0)
+        assert view.get("chi0_apply") == 2.0
+        view.add("chi0_apply", 1.0)
+        assert tr.buckets["chi0_apply"] == 3.0
+        assert view.buckets is tr.buckets
+
+    def test_virtual_clock_backend(self):
+        # The add protocol and spans work against any clock, e.g. a
+        # VirtualClocks-driven timeline.
+        from repro.parallel.virtual_clock import VirtualClocks
+
+        clocks = VirtualClocks(2)
+        tr = Tracer(clock=lambda: clocks.elapsed, domain="virtual")
+        with tr.span("phase"):
+            clocks.advance(0, 1.0)
+            clocks.advance(1, 2.5)
+        (ev,) = tr.events
+        assert ev["dur"] == pytest.approx(2.5)
+        tr.add("chi0_apply", clocks.elapsed)
+        assert tr.buckets["chi0_apply"] == pytest.approx(2.5)
+
+
+class TestNullPath:
+    def test_null_tracer_is_inert(self):
+        nt = NULL_TRACER
+        assert not nt.enabled
+        with nt.span("s", index=1) as sp:
+            sp.set(x=1)
+        with nt.region("chi0_apply"):
+            pass
+        nt.record("r", 0.0, duration=1.0)
+        nt.event("e")
+        nt.incr("c", 5)
+        nt.gauge("g", 1.0)
+        nt.add("b", 1.0)
+        assert nt.events == [] and nt.counters == {}
+        assert nt.buckets == {} and nt.gauges == {}
+        assert nt.metrics()["n_events"] == 0
+
+    def test_null_span_is_shared_singleton(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b") is _NULL_SPAN
+        assert NULL_TRACER.region("a") is _NULL_SPAN
+
+    def test_null_kernel_timers_is_detached(self):
+        kt = NULL_TRACER.kernel_timers()
+        kt.add("x", 1.0)
+        assert NULL_TRACER.buckets == {}
+
+
+class TestActiveTracer:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_and_reset(self):
+        tr = Tracer(clock=FakeClock())
+        assert set_tracer(tr) is tr
+        assert get_tracer() is tr
+        set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_previous(self):
+        tr = Tracer(clock=FakeClock())
+        with use_tracer(tr) as active:
+            assert active is tr and get_tracer() is tr
+            inner = Tracer(clock=FakeClock())
+            with use_tracer(inner):
+                assert get_tracer() is inner
+            assert get_tracer() is tr
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_on_exception(self):
+        tr = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with use_tracer(tr):
+                raise RuntimeError("boom")
+        assert get_tracer() is NULL_TRACER
+
+
+def test_fig5_kernels_constant():
+    assert FIG5_KERNELS == ("chi0_apply", "matmult", "eigensolve", "eval_error")
+
+
+def test_null_tracer_class_reusable():
+    assert not NullTracer().enabled

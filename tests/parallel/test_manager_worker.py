@@ -6,10 +6,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import Chi0Operator
+from repro.obs import Tracer
 from repro.parallel import (
     Chi0WorkloadProfiler,
     WorkItem,
     list_schedule_makespan,
+    replay_schedule,
     static_block_column_makespan,
 )
 
@@ -97,3 +99,37 @@ class TestProfilerIntegration:
         prof = Chi0WorkloadProfiler(op)
         with pytest.raises(ValueError):
             prof.measure(np.zeros(5), omega=0.3)
+
+
+class TestReplaySchedule:
+    ITEMS = [WorkItem(0, (0, 4), 3.0), WorkItem(0, (4, 8), 1.0),
+             WorkItem(1, (0, 4), 2.0), WorkItem(1, (4, 8), 2.0)]
+
+    def test_makespan_matches_list_schedule(self):
+        durations = [it.seconds for it in self.ITEMS]
+        for lpt in (True, False):
+            assert replay_schedule(self.ITEMS, 2, lpt=lpt) == pytest.approx(
+                list_schedule_makespan(durations, 2, lpt=lpt))
+
+    def test_emits_virtual_spans_per_worker(self):
+        tr = Tracer()
+        makespan = replay_schedule(self.ITEMS, 2, tracer=tr)
+        spans = [e for e in tr.events if e["type"] == "span"]
+        assert len(spans) == len(self.ITEMS)
+        assert all(e["name"] == "work_item" and e["domain"] == "virtual"
+                   for e in spans)
+        assert {e["rank"] for e in spans} == {0, 1}
+        # Items on one worker never overlap, and none extends past makespan.
+        for w in (0, 1):
+            mine = sorted((e for e in spans if e["rank"] == w),
+                          key=lambda e: e["ts"])
+            for a, b in zip(mine, mine[1:]):
+                assert a["ts"] + a["dur"] <= b["ts"] + 1e-12
+            assert all(e["ts"] + e["dur"] <= makespan + 1e-12 for e in mine)
+
+    def test_no_tracer_is_pure_makespan(self):
+        assert replay_schedule(self.ITEMS, 4) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replay_schedule(self.ITEMS, 0)

@@ -1,0 +1,87 @@
+"""SolveSummary aggregation — the shared accumulator for solver totals."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import SolveResult, SolveSummary
+
+
+def _result(iterations=3, n_matvec=6, block_size=2, converged=True,
+            breakdown=False):
+    return SolveResult(
+        solution=np.zeros((4, block_size), dtype=complex),
+        converged=converged,
+        iterations=iterations,
+        residual_norm=1e-9,
+        n_matvec=n_matvec,
+        block_size=block_size,
+        breakdown=breakdown,
+    )
+
+
+class TestOf:
+    def test_accumulates_totals(self):
+        s = SolveSummary.of([_result(iterations=3, n_matvec=6, block_size=2),
+                             _result(iterations=5, n_matvec=5, block_size=1)])
+        assert s.n_solves == 2
+        assert s.n_systems == 3
+        assert s.iterations == 8
+        assert s.n_matvec == 11
+        assert s.block_size_counts == {2: 1, 1: 1}
+        assert s.n_breakdowns == 0 and s.n_unconverged == 0
+        assert s.converged
+
+    def test_counts_failures(self):
+        s = SolveSummary.of([_result(converged=False, breakdown=True),
+                             _result()])
+        assert s.n_unconverged == 1 and s.n_breakdowns == 1
+        assert not s.converged
+
+    def test_empty_is_not_converged(self):
+        s = SolveSummary.of([])
+        assert s.n_solves == 0 and not s.converged
+
+    def test_summarize_alias(self):
+        s = SolveResult.summarize([_result()])
+        assert isinstance(s, SolveSummary) and s.n_solves == 1
+
+
+class TestMerge:
+    def test_merge_accumulates_and_chains(self):
+        a = SolveSummary.of([_result(block_size=2)])
+        b = SolveSummary.of([_result(block_size=2), _result(block_size=4,
+                                                            n_matvec=12)])
+        out = a.merge(b)
+        assert out is a
+        assert a.n_solves == 3
+        assert a.block_size_counts == {2: 2, 4: 1}
+        assert a.n_matvec == 6 + 6 + 12
+
+    def test_merge_matches_flat_aggregation(self):
+        results = [_result(iterations=i, n_matvec=2 * i, block_size=1 + i % 3)
+                   for i in range(1, 8)]
+        merged = SolveSummary.of(results[:3]).merge(SolveSummary.of(results[3:]))
+        flat = SolveSummary.of(results)
+        assert merged == flat
+
+
+def test_dynamic_result_summary_matches_block_size_counts(toy_dft, toy_coulomb):
+    # The dynamic driver's Table IV histogram and the summary's must agree:
+    # SolveResult.block_size is the chunk width, so SolveSummary.of over the
+    # chunk results reproduces the counts dict exactly.
+    from repro.core.sternheimer import Chi0Operator
+    from repro.solvers.block_size import solve_with_dynamic_block_size
+
+    op = Chi0Operator(toy_dft.hamiltonian, toy_dft.occupied_orbitals,
+                      toy_dft.occupied_energies, toy_coulomb, tol=1e-2)
+    rng = np.random.default_rng(0)
+    B = rng.standard_normal((toy_dft.grid.n_points, 9)) + 0j
+    apply_a = toy_dft.hamiltonian.shifted(float(toy_dft.occupied_energies[0]), 0.5)
+    res = solve_with_dynamic_block_size(apply_a, B, tol=1e-2,
+                                        max_block_size=4,
+                                        n=toy_dft.grid.n_points)
+    summary = res.summary()
+    assert summary.block_size_counts == res.block_size_counts
+    assert summary.iterations == res.total_iterations
+    assert summary.n_matvec == res.n_matvec
+    assert summary.converged == res.converged
