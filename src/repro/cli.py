@@ -27,7 +27,7 @@ import sys
 
 import numpy as np
 
-from repro.config import RPAConfig
+from repro.config import KNOWN_ESCALATION_STAGES, ResilienceConfig, RPAConfig
 from repro.core import compute_rpa_energy
 from repro.dft import GaussianPseudopotential, run_scf, scaled_silicon_crystal, silicon_crystal
 from repro.dft.atoms import Crystal
@@ -128,11 +128,43 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the aggregated counters/kernel-timings JSON here")
     parser.add_argument("--no-obs", action="store_true",
                         help="disable observability collection entirely")
+    parser.add_argument("--resilience", action="store_true",
+                        help="route every Sternheimer solve through the escalation "
+                             "chain (block COCG -> BF block COCG -> regularized GMRES)")
+    parser.add_argument("--escalation-chain", default=None, metavar="S1,S2,...",
+                        help="comma-separated stage names for --resilience "
+                             f"(known: {', '.join(KNOWN_ESCALATION_STAGES)})")
+    parser.add_argument("--matvec-budget", type=int, default=None, metavar="N",
+                        help="per-solve deadline in matvec-equivalents (--resilience)")
+    parser.add_argument("--solve-retries", type=int, default=None, metavar="N",
+                        help="maximum escalation attempts per solve (--resilience)")
+    parser.add_argument("--on-solve-failure", choices=("degrade", "raise"),
+                        default="degrade",
+                        help="when a solve exhausts its chain: 'degrade' reports an "
+                             "explicit error bound, 'raise' aborts the run")
     args = parser.parse_args(argv)
 
     tracer = NULL_TRACER if args.no_obs else Tracer()
     with use_tracer(tracer):
         return _run(args, tracer)
+
+
+def _resilience_from_args(args) -> ResilienceConfig | None:
+    """Translate the --resilience knob family into a ResilienceConfig."""
+    wants = (args.resilience or args.escalation_chain is not None
+             or args.matvec_budget is not None or args.solve_retries is not None)
+    if not wants:
+        return None
+    kwargs = {"on_failure": args.on_solve_failure}
+    if args.escalation_chain is not None:
+        kwargs["escalation_chain"] = tuple(
+            s.strip() for s in args.escalation_chain.split(",") if s.strip()
+        )
+    if args.matvec_budget is not None:
+        kwargs["matvec_budget"] = args.matvec_budget
+    if args.solve_retries is not None:
+        kwargs["max_solve_attempts"] = args.solve_retries
+    return ResilienceConfig(**kwargs)
 
 
 def _run(args, tracer) -> int:
@@ -144,6 +176,15 @@ def _run(args, tracer) -> int:
             config = load_rpa_config(path=args.input, seed=args.seed, n_eig=args.n_eig)
     else:
         config = RPAConfig(n_eig=n_eig, seed=args.seed)
+    resilience = _resilience_from_args(args)
+    if resilience is not None:
+        from dataclasses import replace
+
+        config = replace(config, resilience=resilience)
+        print(f"resilience: chain={' -> '.join(resilience.escalation_chain)}, "
+              f"budget={resilience.matvec_budget or 'none'}, "
+              f"retries={resilience.max_solve_attempts}, "
+              f"on_failure={resilience.on_failure}", file=sys.stderr)
 
     print(f"system {crystal.label}: {crystal.n_atoms} atoms, grid {grid.shape} "
           f"(n_d = {grid.n_points}), n_eig = {config.n_eig}", file=sys.stderr)
@@ -165,6 +206,7 @@ def _run(args, tracer) -> int:
               f"(comm {par.comm_seconds * 1e3:.1f} ms)", file=sys.stderr)
         print(f"Total RPA correlation energy: {par.energy:.5E} (Ha), "
               f"{par.energy_per_atom:.5E} (Ha/atom)")
+        _print_resilience_summary(par.stats)
         _export_observability(
             args, tracer, config, crystal.label,
             energy=par.energy, energy_per_atom=par.energy_per_atom,
@@ -172,10 +214,13 @@ def _run(args, tracer) -> int:
             comm_seconds=par.comm_seconds,
             imbalance_seconds=par.imbalance_seconds,
             breakdown=par.breakdown, wall_seconds=par.wall_seconds,
+            n_rank_failures=par.n_rank_failures,
+            degraded_error_bound=par.degraded_error_bound,
         )
         return 0
 
     result = compute_rpa_energy(dft, config, coulomb=coulomb)
+    _print_resilience_summary(result.stats)
     log = format_output_log(
         result,
         n_ranks=args.ranks,
@@ -192,8 +237,25 @@ def _run(args, tracer) -> int:
         energy=result.energy, energy_per_atom=result.energy_per_atom,
         converged=result.converged, wall_seconds=result.elapsed_seconds,
         scf_iterations=dft.n_iterations, scf_converged=dft.converged,
+        degraded_error_bound=result.degraded_error_bound,
+        skipped_solve_error_bound=result.skipped_solve_error_bound,
     )
     return 0
+
+
+def _print_resilience_summary(stats) -> None:
+    """One stderr line on retries/escalations/degradation (silent when clean)."""
+    if not (stats.n_retries or stats.n_escalations or stats.n_degraded_solves):
+        return
+    stages = ", ".join(f"{k}: {v}" for k, v in sorted(stats.stage_counts.items()))
+    line = (f"resilience: {stats.n_retries} retried solve attempt(s), "
+            f"{stats.n_escalations} escalated solve(s)")
+    if stages:
+        line += f" [{stages}]"
+    if stats.n_degraded_solves:
+        line += (f"; {stats.n_degraded_solves} degraded solve(s), "
+                 f"error bound {stats.degraded_error_bound:.3e}")
+    print(line, file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

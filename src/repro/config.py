@@ -30,6 +30,76 @@ class PaperParams:
         return self.tol_subspace[k - 1]
 
 
+#: Solver names an escalation chain may reference, in the order the
+#: production policy tries them (cheapest / most fragile first).
+KNOWN_ESCALATION_STAGES = ("block_cocg", "block_cocg_bf", "gmres")
+
+
+@dataclass
+class ResilienceConfig:
+    """Fault-tolerance policy for the Sternheimer solve orchestration.
+
+    Parameters
+    ----------
+    enabled:
+        Run every Sternheimer solve through the escalation chain. When
+        False the plain single-solver path is used; degradation accounting
+        (``on_failure``) still applies.
+    escalation_chain:
+        Ordered solver stages to try. Each stage runs only when every
+        earlier stage failed (breakdown, non-convergence, or budget left).
+    matvec_budget:
+        Deadline-style cap per block solve, expressed in matvec-equivalents
+        (operator applications counted per column). ``None`` means
+        unlimited; a stage is only attempted while budget remains, and its
+        iteration cap is trimmed so the budget cannot be exceeded.
+    max_solve_attempts:
+        At-most-N cap on solver attempts per block solve (chain truncation;
+        also bounds retries after worker reassignment).
+    on_failure:
+        ``"degrade"`` — a solve that exhausts the chain keeps its best
+        iterate and contributes an explicit error bound to the energy
+        (``SternheimerStats.degraded_error_bound``) instead of raising;
+        ``"raise"`` — raise :class:`repro.resilience.SternheimerSolveError`.
+    gmres_regularization:
+        Imaginary shift ``i * eps`` added to the operator for the GMRES
+        fallback stage, regularizing (near-)singular Sternheimer shifts.
+        Convergence is always re-verified against the *unregularized*
+        system before the stage may claim success.
+    gmres_restart:
+        Krylov basis size for the GMRES fallback.
+    """
+
+    enabled: bool = True
+    escalation_chain: tuple[str, ...] = KNOWN_ESCALATION_STAGES
+    matvec_budget: int | None = None
+    max_solve_attempts: int = 3
+    on_failure: str = "degrade"
+    gmres_regularization: float = 1e-8
+    gmres_restart: int = 50
+
+    def __post_init__(self) -> None:
+        self.escalation_chain = tuple(self.escalation_chain)
+        if not self.escalation_chain:
+            raise ValueError("escalation_chain must name at least one stage")
+        for stage in self.escalation_chain:
+            if stage not in KNOWN_ESCALATION_STAGES:
+                raise ValueError(
+                    f"unknown escalation stage {stage!r} "
+                    f"(known: {', '.join(KNOWN_ESCALATION_STAGES)})"
+                )
+        if self.matvec_budget is not None and self.matvec_budget < 1:
+            raise ValueError("matvec_budget must be >= 1 (or None)")
+        if self.max_solve_attempts < 1:
+            raise ValueError("max_solve_attempts must be >= 1")
+        if self.on_failure not in ("degrade", "raise"):
+            raise ValueError(f"on_failure must be 'degrade' or 'raise', got {self.on_failure!r}")
+        if self.gmres_regularization < 0:
+            raise ValueError("gmres_regularization must be non-negative")
+        if self.gmres_restart < 1:
+            raise ValueError("gmres_restart must be >= 1")
+
+
 @dataclass
 class RPAConfig:
     """Runtime configuration for the RPA correlation-energy calculation.
@@ -63,6 +133,10 @@ class RPAConfig:
     dynamic_block_size:
         Enable Algorithm 4's per-processor dynamic block size selection;
         when disabled ``fixed_block_size`` is used.
+    resilience:
+        Optional :class:`ResilienceConfig` enabling the escalation chain,
+        per-solve matvec budgets and graceful degradation. ``None`` keeps
+        the historical single-solver behaviour.
     """
 
     n_eig: int
@@ -79,6 +153,7 @@ class RPAConfig:
     max_block_size: int = 16
     seed: int | None = None
     trace_method: str = "eigenvalues"  # "eigenvalues" | "lanczos" | "block_lanczos" | "hutchinson"
+    resilience: ResilienceConfig | None = None  # None = plain solver, no escalation
 
     def __post_init__(self) -> None:
         if self.n_eig <= 0:

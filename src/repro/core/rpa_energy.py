@@ -45,6 +45,7 @@ class OmegaPointResult:
     converged: bool
     elapsed_seconds: float
     skipped_filtering: bool
+    solve_error_bound: float = 0.0  # operator-norm bound from degraded solves
 
     @property
     def energy_contribution(self) -> float:
@@ -71,6 +72,22 @@ class RPAEnergyResult:
     def converged(self) -> bool:
         return all(p.converged for p in self.points)
 
+    @property
+    def degraded_error_bound(self) -> float:
+        """Total operator-level error bound from degraded Sternheimer solves
+        (``SternheimerStats.degraded_error_bound``); zero for a clean run."""
+        return self.stats.degraded_error_bound
+
+    @property
+    def skipped_solve_error_bound(self) -> float:
+        """Quadrature-weighted diagnostic bound on the energy contribution of
+        degraded solves: ``sum_k w_k bound_k / (2 pi)``. Zero for a clean
+        run; nonzero means graceful degradation occurred and the reported
+        energy carries that explicit uncertainty."""
+        return sum(
+            p.weight * p.solve_error_bound / (2.0 * np.pi) for p in self.points
+        )
+
     def summary(self) -> str:
         """Paper-style output block (cf. the artifact's Si8.out)."""
         lines = ["omega    weight    E_k (Ha)      iters  err        time(s)"]
@@ -83,7 +100,21 @@ class RPAEnergyResult:
             f"Total RPA correlation energy: {self.energy:.5e} (Ha), "
             f"{self.energy_per_atom:.5e} (Ha/atom)"
         )
+        if self.stats.degraded_error_bound > 0.0:
+            lines.append(
+                f"WARNING: {self.stats.n_degraded_solves} Sternheimer solve(s) "
+                f"degraded; energy error bound {self.skipped_solve_error_bound:.3e} (Ha)"
+            )
         return "\n".join(lines)
+
+
+def _escalation_from(config: RPAConfig):
+    """Build the escalation policy requested by ``config.resilience`` (or None)."""
+    if config.resilience is None or not config.resilience.enabled:
+        return None
+    from repro.resilience.policy import EscalationPolicy
+
+    return EscalationPolicy.from_config(config.resilience)
 
 
 def compute_rpa_energy(
@@ -143,6 +174,9 @@ def compute_rpa_energy(
             dynamic_block_size=config.dynamic_block_size,
             fixed_block_size=config.fixed_block_size,
             max_block_size=config.max_block_size,
+            escalation=_escalation_from(config),
+            on_failure=(config.resilience.on_failure
+                        if config.resilience is not None else "degrade"),
         )
 
     quad = transformed_gauss_legendre(config.n_quadrature)
@@ -162,6 +196,7 @@ def compute_rpa_energy(
             omega = float(quad.points[k - 1])
             weight = float(quad.weights[k - 1])
             t0 = time.perf_counter()
+            bound_before = chi0_operator.stats.degraded_error_bound
 
             def apply_op(block: np.ndarray) -> np.ndarray:
                 return chi0_operator.apply_symmetrized(block, omega, timers=timers)
@@ -182,8 +217,13 @@ def compute_rpa_energy(
                     V = rng.standard_normal((n_d, config.n_eig))
 
                 e_k = _energy_term(sub, chi0_operator, omega, config)
+                point_bound = (
+                    chi0_operator.stats.degraded_error_bound - bound_before
+                )
                 sp.set(energy_term=e_k, filter_iterations=sub.iterations,
                        error=sub.error, converged=sub.converged)
+                if point_bound > 0.0:
+                    sp.set(solve_error_bound=point_bound)
             if tracer.enabled:
                 tracer.incr("omega_points")
                 if sub.iterations == 0:
@@ -201,6 +241,7 @@ def compute_rpa_energy(
                     converged=sub.converged,
                     elapsed_seconds=time.perf_counter() - t0,
                     skipped_filtering=sub.iterations == 0,
+                    solve_error_bound=point_bound,
                 )
             )
 

@@ -47,6 +47,17 @@ class SternheimerStats:
     n_unconverged: int = 0
     block_size_counts: dict[int, int] = field(default_factory=dict)
     iterations_per_orbital: dict[int, int] = field(default_factory=dict)
+    # Resilience accounting: escalation-chain activity and the explicit
+    # error bound accumulated by degraded (unrecovered) solves. The bound
+    # is rigorous for Sternheimer operators: ``A = S + i omega I`` with real
+    # symmetric ``S`` has ``||A^{-1}||_2 <= 1 / omega``, so a solve left
+    # with absolute residual ``r`` perturbs ``chi0 V`` by at most
+    # ``4 ||r|| / omega`` (spin factor 4, l2-normalized orbitals).
+    n_retries: int = 0
+    n_escalations: int = 0
+    stage_counts: dict[str, int] = field(default_factory=dict)
+    n_degraded_solves: int = 0
+    degraded_error_bound: float = 0.0
 
     def merge(self, other: "SternheimerStats") -> None:
         self.n_block_solves += other.n_block_solves
@@ -59,6 +70,12 @@ class SternheimerStats:
             self.block_size_counts[k] = self.block_size_counts.get(k, 0) + v
         for k, v in other.iterations_per_orbital.items():
             self.iterations_per_orbital[k] = self.iterations_per_orbital.get(k, 0) + v
+        self.n_retries += other.n_retries
+        self.n_escalations += other.n_escalations
+        for k, v in other.stage_counts.items():
+            self.stage_counts[k] = self.stage_counts.get(k, 0) + v
+        self.n_degraded_solves += other.n_degraded_solves
+        self.degraded_error_bound += other.degraded_error_bound
 
     def absorb(self, orbital: int, summary: SolveSummary) -> None:
         """Accumulate one orbital's solve totals (a :class:`SolveSummary`)."""
@@ -73,6 +90,10 @@ class SternheimerStats:
         self.iterations_per_orbital[orbital] = (
             self.iterations_per_orbital.get(orbital, 0) + summary.iterations
         )
+        self.n_retries += summary.n_retries
+        self.n_escalations += summary.n_escalations
+        for k, v in summary.stage_counts.items():
+            self.stage_counts[k] = self.stage_counts.get(k, 0) + v
 
 
 class Chi0Operator:
@@ -102,6 +123,16 @@ class Chi0Operator:
     cost_fn:
         Cost measure for Algorithm 4; ``None`` uses wall-clock time,
         ``"flops"`` selects the deterministic FLOP model.
+    escalation:
+        Optional :class:`repro.resilience.EscalationPolicy`; when given,
+        every block solve runs through its chain (budgets, retries and
+        fallbacks) instead of the single ``solver``.
+    on_failure:
+        What to do when a solve finishes unconverged after all recovery:
+        ``"degrade"`` (default) keeps the best iterate and accumulates
+        ``stats.degraded_error_bound`` (the rigorous ``4 ||r|| / omega``
+        contribution bound); ``"raise"`` raises
+        :class:`repro.resilience.SternheimerSolveError`.
     """
 
     def __init__(
@@ -118,6 +149,8 @@ class Chi0Operator:
         max_block_size: int = 16,
         cost_fn: CostFn | str | None = "flops",
         solver=block_cocg_solve,
+        escalation=None,
+        on_failure: str = "degrade",
     ) -> None:
         psi_occ = np.asarray(psi_occ, dtype=float)
         eps_occ = np.asarray(eps_occ, dtype=float)
@@ -137,9 +170,13 @@ class Chi0Operator:
         self.max_iterations = int(max_iterations)
         self.use_galerkin_guess = bool(use_galerkin_guess)
         self.dynamic_block_size = bool(dynamic_block_size)
+        if on_failure not in ("degrade", "raise"):
+            raise ValueError(f"on_failure must be 'degrade' or 'raise', got {on_failure!r}")
         self.fixed_block_size = int(fixed_block_size)
         self.max_block_size = int(max_block_size)
-        self.solver = solver
+        self.escalation = escalation
+        self.on_failure = on_failure
+        self.solver = escalation if escalation is not None else solver
         apply_cost = (6.0 * hamiltonian.radius + 1.0) * hamiltonian.n_points
         if hamiltonian.nonlocal_part is not None:
             apply_cost += 4.0 * hamiltonian.nonlocal_part.projectors.nnz
@@ -218,6 +255,7 @@ class Chi0Operator:
                     n=self.n_points,
                 )
                 self._record(j, res.summary(), sp)
+                self._account_failures(j, omega, B, res.chunk_results)
                 return res.solution
             # Fixed block size: slice the RHS into chunks.
             s = min(self.fixed_block_size, n_v)
@@ -238,7 +276,43 @@ class Chi0Operator:
                 Y[:, sl] = sol
                 results.append(r)
             self._record(j, SolveSummary.of(results), sp)
+            self._account_failures(j, omega, B, results)
             return Y
+
+    def _account_failures(self, j: int, omega: float, B: np.ndarray,
+                          chunk_results) -> None:
+        """Degradation accounting for solves that finished unconverged.
+
+        ``A = (H - lambda_j) + i omega I`` has ``||A^{-1}||_2 <= 1/omega``,
+        so a chunk left with relative residual ``rho`` (w.r.t. its own RHS,
+        hence also w.r.t. ``||B||_F``) perturbs this orbital's contribution
+        to ``chi0 V`` by at most ``4 rho ||B||_F / omega`` in l2 norm. In
+        ``"degrade"`` mode the bound is accumulated and reported; in
+        ``"raise"`` mode the solve failure is fatal.
+        """
+        failed = [r for r in chunk_results if not r.converged]
+        if not failed:
+            return
+        from repro.resilience.policy import SternheimerSolveError
+
+        b_norm = float(np.linalg.norm(B))
+        bound = 4.0 * sum(r.residual_norm for r in failed) * b_norm / omega
+        if not np.isfinite(bound):
+            bound = 4.0 * len(failed) * b_norm / omega
+        if self.on_failure == "raise":
+            raise SternheimerSolveError(
+                f"{len(failed)} Sternheimer solve(s) for orbital {j} at omega "
+                f"= {omega:g} failed to converge (error bound {bound:.3e}); "
+                f"rerun with on_failure='degrade' or enable escalation"
+            )
+        self.stats.n_degraded_solves += len(failed)
+        self.stats.degraded_error_bound += bound
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.incr("sternheimer_degraded_solves", len(failed))
+            tracer.incr("sternheimer_degraded_error_bound", bound)
+            tracer.event("solve_degraded", orbital=j, omega=omega,
+                         count=len(failed), error_bound=bound)
 
     def _record(self, j: int, summary: SolveSummary, span=None) -> None:
         """Fold one orbital's solve totals into stats, tracer and span attrs."""
@@ -255,6 +329,10 @@ class Chi0Operator:
                 tracer.incr("sternheimer_unconverged", summary.n_unconverged)
                 tracer.event("sternheimer_unconverged", orbital=j,
                              count=summary.n_unconverged)
+            if summary.n_retries:
+                tracer.incr("resilience_solve_retries", summary.n_retries)
+            if summary.n_escalations:
+                tracer.incr("resilience_solves_escalated", summary.n_escalations)
             if span is not None:
                 span.set(iterations=summary.iterations, n_matvec=summary.n_matvec,
                          block_solves=summary.n_solves,

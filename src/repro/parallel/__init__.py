@@ -21,13 +21,16 @@ from repro.parallel.distribution import (
     block_cyclic_redistribution_bytes,
 )
 from repro.parallel.executor import ThreadedChi0Operator
-from repro.parallel.process_executor import ProcessChi0Operator
+from repro.parallel.process_executor import ProcessChi0Operator, WorkerRecoveryError
 from repro.parallel.manager_worker import (
     Chi0WorkloadProfiler,
+    RecoveryReplay,
     ScheduleComparison,
+    WorkerFailure,
     WorkItem,
     list_schedule_makespan,
     replay_schedule,
+    replay_schedule_with_recovery,
     static_block_column_makespan,
 )
 from repro.parallel.rpa_parallel import (
@@ -51,10 +54,14 @@ __all__ = [
     "block_cyclic_redistribution_bytes",
     "ThreadedChi0Operator",
     "ProcessChi0Operator",
+    "WorkerRecoveryError",
     "WorkItem",
+    "WorkerFailure",
+    "RecoveryReplay",
     "ScheduleComparison",
     "list_schedule_makespan",
     "replay_schedule",
+    "replay_schedule_with_recovery",
     "static_block_column_makespan",
     "Chi0WorkloadProfiler",
     "ParallelRPAResult",

@@ -95,6 +95,151 @@ def replay_schedule(items: list[WorkItem], p: int, tracer=None,
     return max(t for t, _ in heap)
 
 
+@dataclass(frozen=True)
+class WorkerFailure:
+    """A simulated worker death: worker ``worker`` dies at virtual ``at_time``.
+
+    Any item in flight at the failure instant is lost (its partial work is
+    charged to the dead worker's timeline) and must be reassigned.
+    """
+
+    worker: int
+    at_time: float
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ValueError("worker must be non-negative")
+        if self.at_time < 0:
+            raise ValueError("failure time must be non-negative")
+
+
+@dataclass
+class RecoveryReplay:
+    """Outcome of :func:`replay_schedule_with_recovery`."""
+
+    makespan: float
+    completed: int
+    skipped: list[WorkItem]
+    n_reassigned: int
+    lost_seconds: float
+    n_worker_failures: int
+    retry_counts: dict[tuple[int, tuple[int, int]], int]
+
+    @property
+    def degraded(self) -> bool:
+        """True when work had to be dropped (all retries exhausted or no
+        workers left) — callers must account an error bound for it."""
+        return bool(self.skipped)
+
+
+def replay_schedule_with_recovery(
+    items: list[WorkItem],
+    p: int,
+    failures: list[WorkerFailure] | tuple[WorkerFailure, ...] = (),
+    max_retries: int = 3,
+    lpt: bool = True,
+    tracer=None,
+) -> RecoveryReplay:
+    """Manager-worker schedule under worker failures, with reassignment.
+
+    Extends :func:`replay_schedule` with the fault model the manager-worker
+    transition needs in production: a worker that dies mid-item loses that
+    item's partial work; the manager reassigns the item to the next free
+    worker, at most ``max_retries`` times per item, after which the item is
+    *skipped* (graceful degradation — the caller accounts an error bound
+    instead of crashing). Dead workers take no further work; if every
+    worker dies, all remaining items are skipped.
+
+    Emits the same virtual-timeline spans as :func:`replay_schedule`
+    (``work_item``, plus ``work_item_lost`` for in-flight losses and
+    ``worker_failure`` instants), so recovery is visible in the Chrome
+    trace. Returns a :class:`RecoveryReplay`.
+    """
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    if max_retries < 0:
+        raise ValueError("max_retries must be non-negative")
+    tracer = tracer if tracer is not None else get_tracer()
+    fail_at: dict[int, float] = {}
+    for f in failures:
+        if f.worker >= p:
+            raise ValueError(f"failure names worker {f.worker} but p = {p}")
+        fail_at[f.worker] = min(f.at_time, fail_at.get(f.worker, np.inf))
+
+    order = sorted(items, key=lambda it: it.seconds, reverse=True) if lpt else list(items)
+    queue = list(order)
+    heap = [(0.0, w) for w in range(p)]
+    heapq.heapify(heap)
+
+    def _key(item: WorkItem) -> tuple[int, tuple[int, int]]:
+        return (item.orbital, item.columns)
+
+    retry_counts: dict[tuple[int, tuple[int, int]], int] = {}
+    skipped: list[WorkItem] = []
+    completed = 0
+    n_reassigned = 0
+    lost_seconds = 0.0
+    failed_workers: set[int] = set()
+    finish_times = [0.0] * p
+
+    def _mark_dead(w: int, t: float) -> None:
+        failed_workers.add(w)
+        finish_times[w] = max(finish_times[w], t)
+        if tracer.enabled:
+            tracer.event("worker_failure", rank=w, domain="virtual", at_time=t)
+
+    while queue:
+        if not heap:
+            skipped.extend(queue)  # every worker is dead
+            queue.clear()
+            break
+        t, w = heapq.heappop(heap)
+        died_at = fail_at.get(w, np.inf)
+        if t >= died_at:
+            _mark_dead(w, t)
+            continue
+        item = queue.pop(0)
+        end = t + item.seconds
+        if end > died_at:
+            # The worker dies mid-item: partial work is lost, the item is
+            # reassigned (or skipped once its retry budget is spent).
+            lost = died_at - t
+            lost_seconds += lost
+            if tracer.enabled and lost > 0:
+                tracer.record("work_item_lost", t, duration=lost, rank=w,
+                              domain="virtual", orbital=item.orbital,
+                              columns=item.columns)
+            _mark_dead(w, died_at)
+            key = _key(item)
+            retry_counts[key] = retry_counts.get(key, 0) + 1
+            if retry_counts[key] > max_retries:
+                skipped.append(item)
+            else:
+                n_reassigned += 1
+                queue.append(item)
+            continue
+        if tracer.enabled and item.seconds > 0:
+            tracer.record("work_item", t, duration=item.seconds, rank=w,
+                          domain="virtual", orbital=item.orbital,
+                          columns=item.columns,
+                          retry=retry_counts.get(_key(item), 0))
+        completed += 1
+        finish_times[w] = end
+        heapq.heappush(heap, (end, w))
+
+    for t, w in heap:
+        finish_times[w] = max(finish_times[w], t)
+    return RecoveryReplay(
+        makespan=max(finish_times) if finish_times else 0.0,
+        completed=completed,
+        skipped=skipped,
+        n_reassigned=n_reassigned,
+        lost_seconds=lost_seconds,
+        n_worker_failures=len(failed_workers),
+        retry_counts=retry_counts,
+    )
+
+
 def static_block_column_makespan(items: list[WorkItem], n_cols: int, p: int) -> float:
     """Makespan of the paper's static distribution for the same items.
 

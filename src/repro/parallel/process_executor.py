@@ -10,29 +10,50 @@ boundaries).
 
 Results are bit-identical to the serial operator: each orbital's solve is
 the same deterministic computation, merely executed elsewhere.
+
+Fault tolerance: a worker process that dies mid-sweep (OOM kill, segfault
+in a native kernel, induced fault) breaks the whole ``ProcessPoolExecutor``.
+Instead of surfacing ``BrokenProcessPool`` to the caller, the orchestration
+layer rebuilds the pool and resubmits exactly the orbitals whose results
+were lost, at most ``max_pool_restarts`` times per application — the
+deterministic per-orbital computation makes the recovered result
+bit-identical to an undisturbed run.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable
 
 import numpy as np
 
 from repro.core.sternheimer import Chi0Operator, SternheimerStats
+from repro.obs.tracer import get_tracer
+
+
+class WorkerRecoveryError(RuntimeError):
+    """Pool recovery exhausted ``max_pool_restarts`` without completing."""
+
 
 # Worker-side state, installed once per worker via the initializer.
 _WORKER_OP: Chi0Operator | None = None
+_WORKER_FAULT: Callable[[int], None] | None = None
 
 
-def _init_worker(op: Chi0Operator) -> None:
-    global _WORKER_OP
+def _init_worker(op: Chi0Operator, fault_hook: Callable[[int], None] | None = None) -> None:
+    global _WORKER_OP, _WORKER_FAULT
     _WORKER_OP = op
+    _WORKER_FAULT = fault_hook
 
 
 def _solve_orbital_task(args: tuple[int, np.ndarray, float]):
     j, V, omega = args
     assert _WORKER_OP is not None, "worker not initialized"
+    if _WORKER_FAULT is not None:
+        _WORKER_FAULT(j)
     _WORKER_OP.stats = SternheimerStats()  # isolate per-task statistics
     y = _WORKER_OP._solve_orbital(j, V, omega)
     return j, y, _WORKER_OP.stats
@@ -45,22 +66,37 @@ class ProcessChi0Operator(Chi0Operator):
     ----------
     n_workers:
         Process count (defaults to ``min(n_s, cpu_count)``).
+    max_pool_restarts:
+        How many times one ``apply_chi0`` may rebuild a broken pool and
+        resubmit lost orbitals before raising :class:`WorkerRecoveryError`.
+    fault_hook:
+        Test-only callable run in the worker with the orbital index before
+        each solve (see ``repro.resilience.faults.DieOnceFile``).
 
     Notes
     -----
     Requires a platform with the ``fork`` start method (Linux). The worker
     pool is created lazily on the first application and reused; call
     :meth:`close` (or use the operator as a context manager) to release the
-    processes.
+    processes. ``n_pool_restarts`` counts recoveries over the operator's
+    lifetime.
     """
 
-    def __init__(self, *args, n_workers: int | None = None, **kwargs) -> None:
+    def __init__(self, *args, n_workers: int | None = None,
+                 max_pool_restarts: int = 2,
+                 fault_hook: Callable[[int], None] | None = None,
+                 **kwargs) -> None:
         super().__init__(*args, **kwargs)
         if n_workers is None:
             n_workers = min(self.n_occupied, os.cpu_count() or 1)
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if max_pool_restarts < 0:
+            raise ValueError("max_pool_restarts must be non-negative")
         self.n_workers = int(n_workers)
+        self.max_pool_restarts = int(max_pool_restarts)
+        self.n_pool_restarts = 0
+        self._fault_hook = fault_hook
         self._pool: ProcessPoolExecutor | None = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -72,7 +108,7 @@ class ProcessChi0Operator(Chi0Operator):
                 max_workers=self.n_workers,
                 mp_context=ctx,
                 initializer=_init_worker,
-                initargs=(self,),
+                initargs=(self, self._fault_hook),
             )
         return self._pool
 
@@ -102,12 +138,62 @@ class ProcessChi0Operator(Chi0Operator):
             out = super().apply_chi0(V, omega)
             return out[:, 0] if squeeze else out
 
-        pool = self._ensure_pool()
-        tasks = [(j, V, omega) for j in range(self.n_occupied)]
+        results = self._solve_all_orbitals(V, omega)
         acc = np.zeros((self.n_points, V.shape[1]), dtype=complex)
-        results = sorted(pool.map(_solve_orbital_task, tasks), key=lambda r: r[0])
-        for j, y, stats in results:
+        for j in sorted(results):
+            y, stats = results[j]
             acc += self.psi[:, j : j + 1] * y
             self.stats.merge(stats)
         out = 4.0 * acc.real
         return out[:, 0] if squeeze else out
+
+    def _solve_all_orbitals(self, V: np.ndarray, omega: float) -> dict:
+        """Fan the orbital solves out, recovering from dead workers.
+
+        Lost orbitals (their worker died before returning) are resubmitted
+        on a fresh pool; completed results are never recomputed.
+        """
+        tracer = get_tracer()
+        pending = set(range(self.n_occupied))
+        results: dict[int, tuple[np.ndarray, SternheimerStats]] = {}
+        restarts_this_apply = 0
+        while pending:
+            pool = self._ensure_pool()
+            futures = {pool.submit(_solve_orbital_task, (j, V, omega)): j
+                       for j in sorted(pending)}
+            broken = False
+            futures_wait(futures)
+            for fut, j in futures.items():
+                try:
+                    exc = fut.exception()
+                except BaseException:  # cancelled by a dying pool
+                    broken = True
+                    continue
+                if exc is None:
+                    jj, y, stats = fut.result()
+                    results[jj] = (y, stats)
+                    pending.discard(jj)
+                elif isinstance(exc, BrokenProcessPool):
+                    broken = True
+                else:
+                    raise exc
+            if not pending:
+                break
+            if not broken:  # pragma: no cover - defensive
+                raise WorkerRecoveryError(
+                    f"orbitals {sorted(pending)} returned no result without a "
+                    f"pool failure"
+                )
+            if restarts_this_apply >= self.max_pool_restarts:
+                raise WorkerRecoveryError(
+                    f"pool died {restarts_this_apply + 1} times; giving up on "
+                    f"orbitals {sorted(pending)}"
+                )
+            restarts_this_apply += 1
+            self.n_pool_restarts += 1
+            if tracer.enabled:
+                tracer.incr("worker_pool_restarts")
+                tracer.event("worker_pool_restart", lost=len(pending),
+                             restart=restarts_this_apply)
+            self.close()  # discard the broken pool; _ensure_pool rebuilds
+        return results

@@ -86,10 +86,16 @@ class ParallelRPAResult:
     config: RPAConfig
     wall_seconds: float = 0.0
     block_size_cap: int = 1
+    n_rank_failures: int = 0
 
     @property
     def converged(self) -> bool:
         return all(p.converged for p in self.points)
+
+    @property
+    def degraded_error_bound(self) -> float:
+        """Operator-level error bound from degraded Sternheimer solves."""
+        return self.stats.degraded_error_bound
 
 
 @dataclass
@@ -115,6 +121,7 @@ def compute_rpa_energy_parallel(
     n_ranks: int,
     machine: MachineProfile = PACE_PHOENIX,
     coulomb: CoulombOperator | None = None,
+    rank_faults: dict[int, int] | None = None,
 ) -> ParallelRPAResult:
     """Run Algorithm 6 on ``n_ranks`` simulated processors.
 
@@ -124,12 +131,22 @@ def compute_rpa_energy_parallel(
         Converged ground state.
     config:
         RPA configuration; ``config.max_block_size`` is additionally capped
-        at ``n_eig / n_ranks`` per Section III-D.
+        at ``n_eig / n_ranks`` per Section III-D. ``config.resilience``
+        additionally routes every Sternheimer solve through the escalation
+        chain, exactly as in the serial driver.
     n_ranks:
         Simulated processor count; must satisfy ``n_ranks <= n_eig``.
     machine:
         Interconnect/kernel-efficiency profile (default: the paper's
         PACE-Phoenix).
+    rank_faults:
+        Simulated worker deaths: maps rank -> 1-based quadrature-point
+        index at whose start the rank dies. Its column slice is reassigned
+        to the least-loaded surviving rank (manager-worker recovery); the
+        energies are *identical* to the fault-free run — all work is still
+        executed — only the simulated time accounting and the trace
+        (``rank_failure`` / ``task_reassigned`` events) change. At least
+        one rank must survive the whole run.
     """
     if n_ranks < 1:
         raise ValueError("n_ranks must be >= 1")
@@ -145,8 +162,19 @@ def compute_rpa_energy_parallel(
     if coulomb is None:
         coulomb = CoulombOperator(dft.grid, radius=dft.hamiltonian.radius)
 
+    rank_faults = dict(rank_faults or {})
+    for r, k_fail in rank_faults.items():
+        if not 0 <= r < n_ranks:
+            raise ValueError(f"rank_faults names rank {r} but n_ranks = {n_ranks}")
+        if k_fail < 1:
+            raise ValueError("rank_faults quadrature indices are 1-based")
+    if len([r for r, k in rank_faults.items() if k <= config.n_quadrature]) >= n_ranks:
+        raise ValueError("rank_faults would kill every rank; one must survive")
+
     dist = BlockColumnDistribution(config.n_eig, n_ranks)
     block_cap = min(config.max_block_size, dist.max_block_size())
+    from repro.core.rpa_energy import _escalation_from
+
     chi0op = Chi0Operator(
         dft.hamiltonian,
         dft.occupied_orbitals,
@@ -158,20 +186,45 @@ def compute_rpa_energy_parallel(
         dynamic_block_size=config.dynamic_block_size,
         fixed_block_size=config.fixed_block_size,
         max_block_size=block_cap,
+        escalation=_escalation_from(config),
+        on_failure=(config.resilience.on_failure
+                    if config.resilience is not None else "degrade"),
     )
 
     tracer = get_tracer()
     phases = _Phases(clocks=VirtualClocks(n_ranks, tracer=tracer))
     phases.per_rank_chi0 = np.zeros(n_ranks)
+    # Mutable work assignment: rank -> column slices it executes. Starts as
+    # the paper's static block-column layout; rank failures move slices to
+    # the least-loaded survivor (the manager-worker recovery policy).
+    assignment: dict[int, list[slice]] = {
+        r: [dist.owned_slice(r)] for r in range(n_ranks)
+    }
+    n_rank_failures = 0
+
+    def fail_rank(r: int, at_point: int) -> None:
+        """Kill simulated rank ``r``: reassign its slices, record the event."""
+        nonlocal n_rank_failures
+        slices = assignment.pop(r, [])
+        n_rank_failures += 1
+        if tracer.enabled:
+            tracer.event("rank_failure", rank=r, domain="virtual",
+                         quadrature_point=at_point)
+        for sl in slices:
+            survivor = min(assignment, key=lambda w: phases.per_rank_chi0[w])
+            assignment[survivor].append(sl)
+            if tracer.enabled:
+                tracer.event("task_reassigned", rank=survivor, domain="virtual",
+                             columns=(sl.start, sl.stop), from_rank=r)
 
     def rankwise_apply(V: np.ndarray, omega: float) -> np.ndarray:
         """One distributed symmetrized apply; charges per-rank clocks."""
         W = np.empty_like(V)
         durations = np.zeros(n_ranks)
-        for r in range(n_ranks):
-            sl = dist.owned_slice(r)
+        for r, slices in assignment.items():
             t0 = time.perf_counter()
-            W[:, sl] = chi0op.apply_symmetrized(V[:, sl], omega)
+            for sl in slices:
+                W[:, sl] = chi0op.apply_symmetrized(V[:, sl], omega)
             durations[r] = time.perf_counter() - t0
             phases.clocks.advance(r, durations[r], label="chi0_apply")
         phases.last_apply_per_rank = durations
@@ -190,6 +243,9 @@ def compute_rpa_energy_parallel(
                      n_ranks=n_ranks, n_eig=config.n_eig,
                      block_size_cap=block_cap):
         for k in range(1, len(quad) + 1):
+            for r in sorted(r for r, kf in rank_faults.items()
+                            if kf == k and r in assignment):
+                fail_rank(r, k)
             omega = float(quad.points[k - 1])
             weight = float(quad.weights[k - 1])
             t_point0 = phases.clocks.elapsed
@@ -241,6 +297,7 @@ def compute_rpa_energy_parallel(
         config=config,
         wall_seconds=time.perf_counter() - start_wall,
         block_size_cap=block_cap,
+        n_rank_failures=n_rank_failures,
     )
 
 

@@ -69,6 +69,12 @@ class SolveSummary:
     n_breakdowns: int = 0
     n_unconverged: int = 0
     block_size_counts: dict[int, int] = field(default_factory=dict)
+    # Resilience-layer totals (zero unless solves ran through an
+    # EscalationPolicy): extra attempts beyond the first, solves whose
+    # winning stage was not the first, and successes per stage name.
+    n_retries: int = 0
+    n_escalations: int = 0
+    stage_counts: dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def of(cls, results: Iterable[SolveResult]) -> "SolveSummary":
@@ -84,6 +90,13 @@ class SolveSummary:
             summary.block_size_counts[r.block_size] = (
                 summary.block_size_counts.get(r.block_size, 0) + 1
             )
+            attempts = getattr(r, "attempts", None)
+            if attempts:
+                summary.n_retries += len(attempts) - 1
+                summary.n_escalations += int(getattr(r, "escalated", False))
+                stage = getattr(r, "stage", "")
+                if stage:
+                    summary.stage_counts[stage] = summary.stage_counts.get(stage, 0) + 1
         return summary
 
     def merge(self, other: "SolveSummary") -> "SolveSummary":
@@ -96,6 +109,10 @@ class SolveSummary:
         self.n_unconverged += other.n_unconverged
         for k, v in other.block_size_counts.items():
             self.block_size_counts[k] = self.block_size_counts.get(k, 0) + v
+        self.n_retries += other.n_retries
+        self.n_escalations += other.n_escalations
+        for k, v in other.stage_counts.items():
+            self.stage_counts[k] = self.stage_counts.get(k, 0) + v
         return self
 
     @property

@@ -1,0 +1,159 @@
+"""Acceptance tests: the full RPA pipeline under injected solver faults.
+
+The PR's acceptance criteria, verbatim:
+
+* a forced mid-sweep breakdown must complete the full pipeline through
+  escalation, with ``E_RPA`` matching the unperturbed run to quadrature
+  tolerance and at least one ``escalation`` span in the trace;
+* with escalation disabled, the same run must degrade gracefully — an
+  explicit nonzero skipped-solve error bound instead of a crash — and
+  ``on_failure="raise"`` must turn the same situation into a
+  :class:`SternheimerSolveError`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ResilienceConfig, RPAConfig
+from repro.core import Chi0Operator, compute_rpa_energy
+from repro.obs import Tracer, use_tracer
+from repro.resilience import (
+    EscalationPolicy,
+    EscalationStage,
+    SternheimerSolveError,
+    breakdown_injector,
+    default_stages,
+)
+from repro.solvers import block_cocg_solve
+
+pytestmark = pytest.mark.resilience
+
+# Energies from escalated solves agree to solver tolerance, far inside the
+# quadrature discretization error.
+ENERGY_RTOL = 1e-6
+
+
+@pytest.fixture(scope="module")
+def config():
+    return RPAConfig(n_eig=8, n_quadrature=4, seed=7, dynamic_block_size=False)
+
+
+@pytest.fixture(scope="module")
+def reference_energy(toy_dft, toy_coulomb, config):
+    return compute_rpa_energy(toy_dft, config, coulomb=toy_coulomb).energy
+
+
+def _operator(toy_dft, toy_coulomb, config, **kwargs):
+    return Chi0Operator(
+        toy_dft.hamiltonian,
+        toy_dft.occupied_orbitals,
+        toy_dft.occupied_energies,
+        toy_coulomb,
+        tol=config.tol_sternheimer,
+        max_iterations=config.max_cocg_iterations,
+        dynamic_block_size=False,
+        **kwargs,
+    )
+
+
+def _mid_sweep_breakdowns(every=5):
+    """Sabotaged stage 1: every ``every``-th solve breaks down mid-sweep."""
+    return breakdown_injector(block_cocg_solve,
+                              when=lambda idx: idx % every == 2)
+
+
+class TestEscalationAcceptance:
+    def test_breakdowns_recovered_to_reference_energy(
+        self, toy_dft, toy_coulomb, config, reference_energy
+    ):
+        injected = _mid_sweep_breakdowns()
+        policy = EscalationPolicy(
+            (EscalationStage("block_cocg", injected),) + default_stages()[1:]
+        )
+        op = _operator(toy_dft, toy_coulomb, config, escalation=policy)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = compute_rpa_energy(toy_dft, config, coulomb=toy_coulomb,
+                                        chi0_operator=op)
+        assert injected.state["injected"] > 0, "fault never fired"
+        # Pipeline completed, energy matches the unperturbed run.
+        assert result.energy == pytest.approx(reference_energy, rel=ENERGY_RTOL)
+        assert result.converged
+        # No degradation: every breakdown was recovered by a later stage.
+        assert result.degraded_error_bound == 0.0
+        assert result.skipped_solve_error_bound == 0.0
+        assert op.stats.n_escalations >= injected.state["injected"]
+        assert op.stats.n_unconverged == 0
+        # The trace shows the recovery.
+        spans = [e for e in tracer.events
+                 if e.get("type") == "span" and e["name"] == "escalation"]
+        assert len(spans) >= 1
+        assert tracer.counters.get("resilience_escalations", 0) >= 1
+        assert op.stats.stage_counts.get("block_cocg_bf", 0) >= 1
+
+    def test_clean_run_with_resilience_config_matches_reference(
+        self, toy_dft, toy_coulomb, config, reference_energy
+    ):
+        from dataclasses import replace
+
+        cfg = replace(config, resilience=ResilienceConfig())
+        result = compute_rpa_energy(toy_dft, cfg, coulomb=toy_coulomb)
+        assert result.energy == pytest.approx(reference_energy, rel=1e-12)
+        assert result.stats.n_escalations == 0
+
+
+class TestGracefulDegradation:
+    def test_single_stage_chain_degrades_with_error_bound(
+        self, toy_dft, toy_coulomb, config, reference_energy
+    ):
+        # Escalation disabled: the chain is just the (sabotaged) stage 1.
+        injected = _mid_sweep_breakdowns()
+        policy = EscalationPolicy((EscalationStage("block_cocg", injected),))
+        op = _operator(toy_dft, toy_coulomb, config, escalation=policy,
+                       on_failure="degrade")
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = compute_rpa_energy(toy_dft, config, coulomb=toy_coulomb,
+                                        chi0_operator=op)
+        assert injected.state["injected"] > 0
+        # No crash; the result carries an explicit nonzero uncertainty.
+        assert result.degraded_error_bound > 0.0
+        assert result.skipped_solve_error_bound > 0.0
+        assert np.isfinite(result.energy)
+        assert op.stats.n_degraded_solves > 0
+        assert any(p.solve_error_bound > 0.0 for p in result.points)
+        assert any(e["name"] == "solve_degraded" for e in tracer.events)
+        assert "WARNING" in result.summary()
+        # The fault only perturbs a minority of solves; the energy stays in
+        # the reference's neighbourhood even though some solves were skipped.
+        assert result.energy == pytest.approx(reference_energy, rel=0.5)
+
+    def test_raise_mode_aborts_with_solve_error(self, toy_dft, toy_coulomb, config):
+        injected = _mid_sweep_breakdowns()
+        policy = EscalationPolicy((EscalationStage("block_cocg", injected),))
+        op = _operator(toy_dft, toy_coulomb, config, escalation=policy,
+                       on_failure="raise")
+        with pytest.raises(SternheimerSolveError):
+            compute_rpa_energy(toy_dft, config, coulomb=toy_coulomb,
+                               chi0_operator=op)
+
+    def test_clean_summary_has_no_warning(self, toy_dft, toy_coulomb, config):
+        result = compute_rpa_energy(toy_dft, config, coulomb=toy_coulomb)
+        assert "WARNING" not in result.summary()
+        assert result.skipped_solve_error_bound == 0.0
+
+
+class TestBudgetedPipeline:
+    def test_starved_budget_degrades_instead_of_crashing(
+        self, toy_dft, toy_coulomb, config
+    ):
+        # A budget too small for any stage to run: every solve degrades, the
+        # pipeline still completes with a (large) explicit bound.
+        policy = EscalationPolicy(default_stages(), matvec_budget=1)
+        op = _operator(toy_dft, toy_coulomb, config, escalation=policy,
+                       on_failure="degrade")
+        result = compute_rpa_energy(toy_dft, config, coulomb=toy_coulomb,
+                                    chi0_operator=op)
+        assert np.isfinite(result.energy)
+        assert result.degraded_error_bound > 0.0
+        assert op.stats.n_degraded_solves == op.stats.n_block_solves
