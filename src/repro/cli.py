@@ -128,6 +128,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the aggregated counters/kernel-timings JSON here")
     parser.add_argument("--no-obs", action="store_true",
                         help="disable observability collection entirely")
+    parser.add_argument("--recycle", action="store_true",
+                        help="cache converged Sternheimer solutions per (orbital, "
+                             "omega), rotate them through Rayleigh-Ritz and reuse "
+                             "them as initial guesses across iterations and "
+                             "quadrature points")
+    parser.add_argument("--precondition", action="store_true",
+                        help="apply the shifted inverse-Laplacian preconditioner "
+                             "to the difficult (indefinite, small-omega) "
+                             "Sternheimer systems")
     parser.add_argument("--resilience", action="store_true",
                         help="route every Sternheimer solve through the escalation "
                              "chain (block COCG -> BF block COCG -> regularized GMRES)")
@@ -176,6 +185,14 @@ def _run(args, tracer) -> int:
             config = load_rpa_config(path=args.input, seed=args.seed, n_eig=args.n_eig)
     else:
         config = RPAConfig(n_eig=n_eig, seed=args.seed)
+    if args.recycle or args.precondition:
+        from dataclasses import replace
+
+        config = replace(config, use_recycling=args.recycle,
+                         use_preconditioner=args.precondition)
+        modes = [m for m, on in (("recycling", args.recycle),
+                                 ("preconditioning", args.precondition)) if on]
+        print(f"sternheimer: {' + '.join(modes)} enabled", file=sys.stderr)
     resilience = _resilience_from_args(args)
     if resilience is not None:
         from dataclasses import replace
@@ -221,6 +238,12 @@ def _run(args, tracer) -> int:
 
     result = compute_rpa_energy(dft, config, coulomb=coulomb)
     _print_resilience_summary(result.stats)
+    if result.recycle is not None:
+        r = result.recycle
+        print(f"recycling: {r.hits} hits, {r.omega_seeds} cross-omega seeds, "
+              f"{r.misses} misses; {result.stats.n_matvec} matvecs, "
+              f"{result.stats.n_preconditioned_solves} preconditioned solve(s)",
+              file=sys.stderr)
     log = format_output_log(
         result,
         n_ranks=args.ranks,

@@ -133,6 +133,16 @@ class RPAConfig:
     dynamic_block_size:
         Enable Algorithm 4's per-processor dynamic block size selection;
         when disabled ``fixed_block_size`` is used.
+    use_recycling:
+        Cache converged Sternheimer solutions per (orbital, omega), rotate
+        them with the Rayleigh-Ritz basis between subspace iterations and
+        serve them as initial guesses — including seeding each new
+        quadrature point from the previous one. Off by default (cold
+        solves reproduce the historical matvec counts exactly).
+    use_preconditioner:
+        Apply the Section V shifted inverse-Laplacian preconditioner
+        selectively, to the difficult (indefinite spectrum, small omega)
+        Sternheimer systems only.
     resilience:
         Optional :class:`ResilienceConfig` enabling the escalation chain,
         per-solve matvec budgets and graceful degradation. ``None`` keeps
@@ -151,6 +161,8 @@ class RPAConfig:
     dynamic_block_size: bool = True
     fixed_block_size: int = 1
     max_block_size: int = 16
+    use_recycling: bool = False
+    use_preconditioner: bool = False
     seed: int | None = None
     trace_method: str = "eigenvalues"  # "eigenvalues" | "lanczos" | "block_lanczos" | "hutchinson"
     resilience: ResilienceConfig | None = None  # None = plain solver, no escalation

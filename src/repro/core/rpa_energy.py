@@ -24,6 +24,7 @@ from repro.core.trace import (
     stochastic_lanczos_trace,
     trace_from_eigenvalues,
 )
+from repro.solvers.recycle import RecycleStats, SolveRecycler
 from repro.dft.scf import DFTResult
 from repro.grid.coulomb import CoulombOperator
 from repro.obs.tracer import get_tracer
@@ -67,6 +68,7 @@ class RPAEnergyResult:
     n_atoms: int
     elapsed_seconds: float = 0.0
     final_vectors: np.ndarray | None = None
+    recycle: "RecycleStats | None" = None  # solve-cache accounting (None = cold run)
 
     @property
     def converged(self) -> bool:
@@ -104,6 +106,12 @@ class RPAEnergyResult:
             lines.append(
                 f"WARNING: {self.stats.n_degraded_solves} Sternheimer solve(s) "
                 f"degraded; energy error bound {self.skipped_solve_error_bound:.3e} (Ha)"
+            )
+        if self.recycle is not None:
+            r = self.recycle
+            lines.append(
+                f"Solve recycling: {r.hits} hits, {r.omega_seeds} cross-omega "
+                f"seeds, {r.misses} misses ({self.stats.n_matvec} matvecs total)"
             )
         return "\n".join(lines)
 
@@ -177,7 +185,11 @@ def compute_rpa_energy(
             escalation=_escalation_from(config),
             on_failure=(config.resilience.on_failure
                         if config.resilience is not None else "degrade"),
+            use_preconditioner=config.use_preconditioner,
         )
+    if config.use_recycling and chi0_operator.recycler is None:
+        chi0_operator.recycler = SolveRecycler(width=config.n_eig)
+    recycler = chi0_operator.recycler
 
     quad = transformed_gauss_legendre(config.n_quadrature)
     rng = default_rng(config.seed)
@@ -210,13 +222,24 @@ def compute_rpa_energy(
                     degree=config.filter_degree,
                     max_iterations=config.max_filter_iterations,
                     timers=timers,
+                    on_rotation=recycler.rotate if recycler is not None else None,
                 )
                 if config.use_warm_start:
                     V = sub.vectors
+                elif recycler is not None:
+                    # A fresh random block shares nothing with the cache.
+                    V = rng.standard_normal((n_d, config.n_eig))
+                    recycler.clear()
                 else:
                     V = rng.standard_normal((n_d, config.n_eig))
 
-                e_k = _energy_term(sub, chi0_operator, omega, config)
+                if recycler is not None and config.trace_method != "eigenvalues":
+                    # Stochastic trace probes are unrelated single vectors;
+                    # keep them out of the solve cache.
+                    with recycler.paused():
+                        e_k = _energy_term(sub, chi0_operator, omega, config)
+                else:
+                    e_k = _energy_term(sub, chi0_operator, omega, config)
                 point_bound = (
                     chi0_operator.stats.degraded_error_bound - bound_before
                 )
@@ -256,6 +279,7 @@ def compute_rpa_energy(
         n_atoms=dft.crystal.n_atoms,
         elapsed_seconds=time.perf_counter() - start,
         final_vectors=V.copy() if keep_vectors else None,
+        recycle=recycler.stats if recycler is not None else None,
     )
 
 

@@ -27,6 +27,8 @@ from repro.obs.tracer import get_tracer
 from repro.solvers.block_cocg import block_cocg_solve
 from repro.solvers.block_size import CostFn, flop_cost_model, solve_with_dynamic_block_size
 from repro.solvers.galerkin_guess import galerkin_initial_guess
+from repro.solvers.preconditioner import ShiftedLaplacianPreconditioner, should_precondition
+from repro.solvers.recycle import SolveRecycler
 from repro.solvers.stats import SolveSummary
 from repro.utils.timing import KernelTimers
 
@@ -58,6 +60,12 @@ class SternheimerStats:
     stage_counts: dict[str, int] = field(default_factory=dict)
     n_degraded_solves: int = 0
     degraded_error_bound: float = 0.0
+    # Hot-path accelerators: orbital solves that ran with the selective
+    # shifted-Laplacian preconditioner, and Galerkin guesses skipped
+    # because the projected operator was singular (degenerate lambda_j at
+    # tiny omega) — the solve proceeds from x0 = None instead of dying.
+    n_preconditioned_solves: int = 0
+    n_guess_singular_skips: int = 0
 
     def merge(self, other: "SternheimerStats") -> None:
         self.n_block_solves += other.n_block_solves
@@ -76,6 +84,8 @@ class SternheimerStats:
             self.stage_counts[k] = self.stage_counts.get(k, 0) + v
         self.n_degraded_solves += other.n_degraded_solves
         self.degraded_error_bound += other.degraded_error_bound
+        self.n_preconditioned_solves += other.n_preconditioned_solves
+        self.n_guess_singular_skips += other.n_guess_singular_skips
 
     def absorb(self, orbital: int, summary: SolveSummary) -> None:
         """Accumulate one orbital's solve totals (a :class:`SolveSummary`)."""
@@ -133,6 +143,17 @@ class Chi0Operator:
         ``stats.degraded_error_bound`` (the rigorous ``4 ||r|| / omega``
         contribution bound); ``"raise"`` raises
         :class:`repro.resilience.SternheimerSolveError`.
+    recycler:
+        Optional :class:`repro.solvers.recycle.SolveRecycler`. Converged
+        solutions are cached per (orbital, omega) and served as initial
+        guesses for later solves (falling back to the Eq. 13 Galerkin
+        guess on a miss); the driver keeps the cache aligned with the
+        subspace iteration through the ``on_rotation`` hook.
+    use_preconditioner:
+        Apply the Section V shifted inverse-Laplacian preconditioner to
+        the *difficult* ``(j, omega)`` systems only (the
+        ``should_precondition`` heuristic: indefinite spectrum at small
+        imaginary shift); easy systems keep the unpreconditioned fast path.
     """
 
     def __init__(
@@ -151,6 +172,8 @@ class Chi0Operator:
         solver=block_cocg_solve,
         escalation=None,
         on_failure: str = "degrade",
+        recycler: SolveRecycler | None = None,
+        use_preconditioner: bool = False,
     ) -> None:
         psi_occ = np.asarray(psi_occ, dtype=float)
         eps_occ = np.asarray(eps_occ, dtype=float)
@@ -177,6 +200,13 @@ class Chi0Operator:
         self.escalation = escalation
         self.on_failure = on_failure
         self.solver = escalation if escalation is not None else solver
+        self.recycler = recycler
+        self.use_preconditioner = bool(use_preconditioner)
+        self._lambda_min = float(eps_occ.min())
+        # Preconditioners are spectral factorizations of the shifted
+        # Laplacian — one FFT/Kronecker plan per distinct (lambda_j, omega)
+        # shift, reused across every subspace iteration at that frequency.
+        self._preconditioners: dict[tuple[float, float], ShiftedLaplacianPreconditioner] = {}
         apply_cost = (6.0 * hamiltonian.radius + 1.0) * hamiltonian.n_points
         if hamiltonian.nonlocal_part is not None:
             apply_cost += 4.0 * hamiltonian.nonlocal_part.projectors.nnz
@@ -232,16 +262,61 @@ class Chi0Operator:
 
     # -- internals ---------------------------------------------------------------
 
-    def _solve_orbital(self, j: int, V: np.ndarray, omega: float) -> np.ndarray:
+    def _initial_guess(self, j: int, lam_j: float, omega: float,
+                       B: np.ndarray) -> tuple[np.ndarray | None, str]:
+        """Best available initial guess for orbital ``j``'s block solve.
+
+        Priority: recycled solution (rotated/cross-frequency cache) ->
+        Eq. 13 Galerkin projection -> None. A degenerate ``lambda_j``
+        at tiny ``omega`` makes the projected operator singular; that is
+        survivable — skip the guess instead of killing the run.
+        """
+        if self.recycler is not None:
+            guess = self.recycler.guess(j, omega, B.shape[1])
+            if guess is not None:
+                return guess, "recycled"
+        if self.use_galerkin_guess:
+            try:
+                return galerkin_initial_guess(self.psi, self.eps, lam_j, omega, B), "galerkin"
+            except ValueError:
+                self.stats.n_guess_singular_skips += 1
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.incr("galerkin_guess_singular_skips")
+                    tracer.event("galerkin_guess_skipped", orbital=j, omega=omega,
+                                 reason="singular_projected_operator")
+        return None, "none"
+
+    def _preconditioner_for(self, lam_j: float, omega: float):
+        """Selective preconditioning: shifted inverse Laplacian, hard pairs only."""
+        if not self.use_preconditioner:
+            return None
+        if not should_precondition(lam_j, self._lambda_min, omega):
+            return None
+        key = (lam_j, omega)
+        M = self._preconditioners.get(key)
+        if M is None:
+            M = ShiftedLaplacianPreconditioner.for_shift(
+                self.h.grid, lam_j, omega, radius=self.h.radius
+            )
+            self._preconditioners[key] = M
+        return M
+
+    def _solve_orbital(self, j: int, V: np.ndarray, omega: float,
+                       x0: np.ndarray | None = None) -> np.ndarray:
         lam_j = float(self.eps[j])
         apply_a = self.h.shifted(lam_j, omega)
         B = -(V * self.psi[:, j : j + 1])
-        x0 = None
-        if self.use_galerkin_guess:
-            x0 = galerkin_initial_guess(self.psi, self.eps, lam_j, omega, B)
+        if x0 is not None:
+            guess_source = "explicit"
+        else:
+            x0, guess_source = self._initial_guess(j, lam_j, omega, B)
+        preconditioner = self._preconditioner_for(lam_j, omega)
         n_v = V.shape[1]
-        with get_tracer().span("sternheimer_solve", orbital=j, omega=omega,
-                               n_rhs=n_v) as sp:
+        tracer = get_tracer()
+        with tracer.span("sternheimer_solve", orbital=j, omega=omega,
+                         n_rhs=n_v, guess=guess_source,
+                         preconditioned=preconditioner is not None) as sp:
             if self.dynamic_block_size and n_v > 1:
                 res = solve_with_dynamic_block_size(
                     apply_a,
@@ -253,29 +328,47 @@ class Chi0Operator:
                     solver=self.solver,
                     cost_fn=self.cost_fn,
                     n=self.n_points,
+                    preconditioner=preconditioner,
                 )
+                results = res.chunk_results
+                Y = res.solution
                 self._record(j, res.summary(), sp)
-                self._account_failures(j, omega, B, res.chunk_results)
-                return res.solution
-            # Fixed block size: slice the RHS into chunks.
-            s = min(self.fixed_block_size, n_v)
-            Y = np.empty((self.n_points, n_v), dtype=complex)
-            results = []
-            for start in range(0, n_v, s):
-                sl = slice(start, min(start + s, n_v))
-                guess = x0[:, sl] if x0 is not None else None
-                r = self.solver(
-                    apply_a,
-                    B[:, sl],
-                    x0=guess,
-                    tol=self.tol,
-                    max_iterations=self.max_iterations,
-                    n=self.n_points,
-                )
-                sol = r.solution if r.solution.ndim == 2 else r.solution[:, None]
-                Y[:, sl] = sol
-                results.append(r)
-            self._record(j, SolveSummary.of(results), sp)
+            else:
+                # Fixed block size: slice the RHS into chunks.
+                s = min(self.fixed_block_size, n_v)
+                Y = np.empty((self.n_points, n_v), dtype=complex)
+                results = []
+                extra = {} if preconditioner is None else {"preconditioner": preconditioner}
+                for start in range(0, n_v, s):
+                    sl = slice(start, min(start + s, n_v))
+                    guess = x0[:, sl] if x0 is not None else None
+                    r = self.solver(
+                        apply_a,
+                        B[:, sl],
+                        x0=guess,
+                        tol=self.tol,
+                        max_iterations=self.max_iterations,
+                        n=self.n_points,
+                        **extra,
+                    )
+                    sol = r.solution if r.solution.ndim == 2 else r.solution[:, None]
+                    Y[:, sl] = sol
+                    results.append(r)
+                self._record(j, SolveSummary.of(results), sp)
+            if preconditioner is not None:
+                self.stats.n_preconditioned_solves += 1
+                if tracer.enabled:
+                    tracer.incr("preconditioned_solves")
+            converged = all(r.converged for r in results)
+            if guess_source == "recycled" and results and results[0].residual_history:
+                # residual_history[0] is the relative residual of the served
+                # guess — the solver measured it anyway, so the gauge is free.
+                if tracer.enabled:
+                    tracer.gauge("recycle_guess_residual",
+                                 results[0].residual_history[0],
+                                 orbital=j, omega=omega)
+            if self.recycler is not None and guess_source != "explicit":
+                self.recycler.store(j, omega, Y, converged=converged)
             self._account_failures(j, omega, B, results)
             return Y
 

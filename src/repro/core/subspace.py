@@ -52,6 +52,7 @@ def filtered_subspace_iteration(
     max_iterations: int = 10,
     timers: KernelTimers | None = None,
     on_iteration: Callable[[int, float, np.ndarray], None] | None = None,
+    on_rotation: Callable[[np.ndarray], None] | None = None,
 ) -> SubspaceResult:
     """Run Algorithm 5 on operator ``apply_op`` starting from block ``v0``.
 
@@ -79,6 +80,11 @@ def filtered_subspace_iteration(
     on_iteration:
         Diagnostic hook called as ``(iteration, error, eigenvalues)`` after
         every convergence check.
+    on_rotation:
+        Hook called with the Rayleigh-Ritz eigenvector matrix ``Q`` right
+        after each rotation ``V <- V Q``. Consumers that cache quantities
+        linear in the operand block (the Sternheimer solve recycler) use it
+        to keep their state aligned with the iteration's next operand.
     """
     if tol <= 0:
         raise ValueError("tol must be positive")
@@ -91,7 +97,9 @@ def filtered_subspace_iteration(
     tracer = get_tracer()
 
     W = apply_op(V)
-    vals, V, W = _rayleigh_ritz(V, W, timers)
+    vals, V, W, Q = _rayleigh_ritz(V, W, timers)
+    if on_rotation is not None:
+        on_rotation(Q)
     err = _eq7_error(V, W, vals, timers)
     history = [err]
     if tracer.enabled:
@@ -106,7 +114,9 @@ def filtered_subspace_iteration(
             low, cut, high = _filter_bounds(vals)
             V = chebyshev_filter(apply_op, V, degree, low, cut, high)
             W = apply_op(V)
-            vals, V, W = _rayleigh_ritz(V, W, timers)
+            vals, V, W, Q = _rayleigh_ritz(V, W, timers)
+            if on_rotation is not None:
+                on_rotation(Q)
             err = _eq7_error(V, W, vals, timers)
             sp.set(error=err)
         history.append(err)
@@ -141,8 +151,12 @@ def _filter_bounds(vals: np.ndarray) -> tuple[float, float, float]:
 
 def _rayleigh_ritz(
     V: np.ndarray, W: np.ndarray, timers: KernelTimers
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Generalized Rayleigh-Ritz ``H_s Q = M_s Q D``; rotates V and W."""
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Generalized Rayleigh-Ritz ``H_s Q = M_s Q D``; rotates V and W.
+
+    Returns ``(vals, V Q, W Q, Q)`` — ``Q`` is exposed so callers can feed
+    rotation-covariant caches (the ``on_rotation`` hook).
+    """
     with timers.region("matmult"):
         hs = V.T @ W
         ms = V.T @ V
@@ -169,7 +183,7 @@ def _rayleigh_ritz(
     with timers.region("matmult"):
         V = V @ Q
         W = W @ Q
-    return vals, V, W
+    return vals, V, W, Q
 
 
 def _eq7_error(V: np.ndarray, W: np.ndarray, vals: np.ndarray, timers: KernelTimers) -> float:

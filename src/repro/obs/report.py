@@ -49,6 +49,49 @@ def load_events(path: str | Path) -> list[dict]:
     return read_chrome_trace(path)
 
 
+def load_summary(path: str | Path) -> dict:
+    """Load the final ``summary`` record of a JSONL stream (empty if absent)."""
+    path = Path(path)
+    try:
+        _, summary = read_jsonl(path)
+    except (json.JSONDecodeError, KeyError, ValueError, AttributeError, OSError):
+        # Chrome trace files (one big JSON array) have no summary record.
+        return {}
+    return summary
+
+
+#: Counter names the solve-recycling layer emits (in display order).
+RECYCLE_COUNTERS = (
+    "recycle_hits",
+    "recycle_omega_seeds",
+    "recycle_misses",
+    "recycle_stores",
+    "recycle_rotations",
+    "preconditioned_solves",
+    "galerkin_guess_singular_skips",
+)
+
+
+def recycle_table(summary: dict) -> str | None:
+    """Solve-recycling counter table from a trace's summary record.
+
+    Returns None when the run had no recycling/preconditioning activity,
+    so cold traces render exactly as before.
+    """
+    counters = summary.get("counters", {})
+    present = [(name, counters[name]) for name in RECYCLE_COUNTERS
+               if name in counters]
+    if not present:
+        return None
+    rows = [[name, int(value)] for name, value in present]
+    served = counters.get("recycle_hits", 0) + counters.get("recycle_omega_seeds", 0)
+    looked_up = served + counters.get("recycle_misses", 0)
+    if looked_up:
+        rows.append(["guess_serve_rate", f"{100.0 * served / looked_up:.1f}%"])
+    return format_table(["counter", "value"], rows,
+                        title="Sternheimer solve recycling / preconditioning")
+
+
 def kernel_breakdown(events: list[dict], kernels: tuple[str, ...] | None = None,
                      domain: str | None = None) -> dict[str, dict]:
     """Per-kernel ``{"seconds", "count", "per_rank"}`` from span events.
@@ -138,6 +181,10 @@ def main(argv: list[str] | None = None) -> int:
         print("note: no Fig. 5 kernel spans in this trace; rerun with --all "
               "to list every span name", file=sys.stderr)
     print(table)
+    recycle = recycle_table(load_summary(args.trace))
+    if recycle is not None:
+        print()
+        print(recycle)
     return 0
 
 

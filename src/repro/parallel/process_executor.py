@@ -49,13 +49,17 @@ def _init_worker(op: Chi0Operator, fault_hook: Callable[[int], None] | None = No
     _WORKER_FAULT = fault_hook
 
 
-def _solve_orbital_task(args: tuple[int, np.ndarray, float]):
-    j, V, omega = args
+def _solve_orbital_task(args: tuple[int, np.ndarray, float, np.ndarray | None]):
+    j, V, omega, x0 = args
     assert _WORKER_OP is not None, "worker not initialized"
     if _WORKER_FAULT is not None:
         _WORKER_FAULT(j)
     _WORKER_OP.stats = SternheimerStats()  # isolate per-task statistics
-    y = _WORKER_OP._solve_orbital(j, V, omega)
+    # The forked worker's recycler is a stale copy-on-write snapshot and its
+    # stores would be lost with the process; guesses are computed parent-side
+    # and shipped in the task args, stores happen parent-side on the results.
+    _WORKER_OP.recycler = None
+    y = _WORKER_OP._solve_orbital(j, V, omega, x0=x0)
     return j, y, _WORKER_OP.stats
 
 
@@ -144,6 +148,10 @@ class ProcessChi0Operator(Chi0Operator):
             y, stats = results[j]
             acc += self.psi[:, j : j + 1] * y
             self.stats.merge(stats)
+            if self.recycler is not None:
+                # Parent-side store: the worker's recycler copy died with it.
+                self.recycler.store(j, omega, y,
+                                    converged=stats.n_unconverged == 0)
         out = 4.0 * acc.real
         return out[:, 0] if squeeze else out
 
@@ -156,10 +164,20 @@ class ProcessChi0Operator(Chi0Operator):
         tracer = get_tracer()
         pending = set(range(self.n_occupied))
         results: dict[int, tuple[np.ndarray, SternheimerStats]] = {}
+        # Guesses are looked up once per orbital (not per resubmission, so a
+        # pool restart cannot double-count cache hits) and ride along in the
+        # task arguments; a miss ships None and the worker falls back to its
+        # own Galerkin guess.
+        guesses: dict[int, np.ndarray | None] = {
+            j: (self.recycler.guess(j, omega, V.shape[1])
+                if self.recycler is not None else None)
+            for j in sorted(pending)
+        }
         restarts_this_apply = 0
         while pending:
             pool = self._ensure_pool()
-            futures = {pool.submit(_solve_orbital_task, (j, V, omega)): j
+            futures = {pool.submit(_solve_orbital_task,
+                                   (j, V, omega, guesses[j])): j
                        for j in sorted(pending)}
             broken = False
             futures_wait(futures)

@@ -87,6 +87,7 @@ class ParallelRPAResult:
     wall_seconds: float = 0.0
     block_size_cap: int = 1
     n_rank_failures: int = 0
+    recycle: object | None = None  # RecycleStats when config.use_recycling
 
     @property
     def converged(self) -> bool:
@@ -174,6 +175,7 @@ def compute_rpa_energy_parallel(
     dist = BlockColumnDistribution(config.n_eig, n_ranks)
     block_cap = min(config.max_block_size, dist.max_block_size())
     from repro.core.rpa_energy import _escalation_from
+    from repro.solvers.recycle import SolveRecycler
 
     chi0op = Chi0Operator(
         dft.hamiltonian,
@@ -189,7 +191,11 @@ def compute_rpa_energy_parallel(
         escalation=_escalation_from(config),
         on_failure=(config.resilience.on_failure
                     if config.resilience is not None else "degrade"),
+        use_preconditioner=config.use_preconditioner,
+        recycler=(SolveRecycler(width=config.n_eig)
+                  if config.use_recycling else None),
     )
+    recycler = chi0op.recycler
 
     tracer = get_tracer()
     phases = _Phases(clocks=VirtualClocks(n_ranks, tracer=tracer))
@@ -224,7 +230,14 @@ def compute_rpa_energy_parallel(
         for r, slices in assignment.items():
             t0 = time.perf_counter()
             for sl in slices:
-                W[:, sl] = chi0op.apply_symmetrized(V[:, sl], omega)
+                if recycler is not None:
+                    # Each rank solves a disjoint column slice of the same
+                    # block; scope the cache to global column offsets so
+                    # full-width entries assemble coherently across ranks.
+                    with recycler.columns(sl.start, sl.stop):
+                        W[:, sl] = chi0op.apply_symmetrized(V[:, sl], omega)
+                else:
+                    W[:, sl] = chi0op.apply_symmetrized(V[:, sl], omega)
             durations[r] = time.perf_counter() - t0
             phases.clocks.advance(r, durations[r], label="chi0_apply")
         phases.last_apply_per_rank = durations
@@ -259,6 +272,7 @@ def compute_rpa_energy_parallel(
                 phases=phases,
                 machine=machine,
                 p=n_ranks,
+                on_rotation=recycler.rotate if recycler is not None else None,
             )
             e_k = trace_from_eigenvalues(vals)
             energy += weight * e_k / (2.0 * np.pi)
@@ -298,6 +312,7 @@ def compute_rpa_energy_parallel(
         wall_seconds=time.perf_counter() - start_wall,
         block_size_cap=block_cap,
         n_rank_failures=n_rank_failures,
+        recycle=recycler.stats if recycler is not None else None,
     )
 
 
@@ -314,9 +329,11 @@ def _parallel_subspace(
     phases: _Phases,
     machine: MachineProfile,
     p: int,
+    on_rotation=None,
 ):
     W = rankwise_apply(V, omega)
-    vals, V, W = _parallel_rayleigh_ritz(V, W, phases, machine, p)
+    vals, V, W = _parallel_rayleigh_ritz(V, W, phases, machine, p,
+                                         on_rotation=on_rotation)
     err = _parallel_eq7(V, W, vals, phases, machine, p)
     if err <= tol:
         return vals, V, True, 0
@@ -325,7 +342,8 @@ def _parallel_subspace(
         low, cut, high = _filter_bounds(vals)
         V = chebyshev_filter(lambda B: rankwise_apply(B, omega), V, degree, low, cut, high)
         W = rankwise_apply(V, omega)
-        vals, V, W = _parallel_rayleigh_ritz(V, W, phases, machine, p)
+        vals, V, W = _parallel_rayleigh_ritz(V, W, phases, machine, p,
+                                             on_rotation=on_rotation)
         err = _parallel_eq7(V, W, vals, phases, machine, p)
         if err <= tol:
             return vals, V, True, it
@@ -338,7 +356,8 @@ def _filter_bounds(vals: np.ndarray) -> tuple[float, float, float]:
     return bounds(vals)
 
 
-def _parallel_rayleigh_ritz(V, W, phases: _Phases, machine: MachineProfile, p: int):
+def _parallel_rayleigh_ritz(V, W, phases: _Phases, machine: MachineProfile, p: int,
+                            on_rotation=None):
     """ScaLAPACK phase: redistribution + pdgemm + pdsyevd + rotation."""
     n_d, m = V.shape
     t0 = time.perf_counter()
@@ -360,6 +379,8 @@ def _parallel_rayleigh_ritz(V, W, phases: _Phases, machine: MachineProfile, p: i
     V = V @ Q
     W = W @ Q
     t_rot = time.perf_counter() - t0
+    if on_rotation is not None:
+        on_rotation(Q)
 
     # Simulated charges: redistribute V and W to block-cyclic, run the
     # parallel matmults and eigensolve, redistribute back.

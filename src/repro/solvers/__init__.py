@@ -17,6 +17,7 @@ from repro.solvers.galerkin_guess import galerkin_initial_guess, residual_after_
 from repro.solvers.gmres import gmres_solve
 from repro.solvers.linear_operator import CountingOperator, as_operator
 from repro.solvers.preconditioner import ShiftedLaplacianPreconditioner, should_precondition
+from repro.solvers.recycle import RecycleStats, SolveRecycler
 from repro.solvers.seed import seed_solve
 from repro.solvers.stats import (
     BlockSizeDecision,
@@ -38,6 +39,8 @@ __all__ = [
     "residual_after_deflation",
     "ShiftedLaplacianPreconditioner",
     "should_precondition",
+    "SolveRecycler",
+    "RecycleStats",
     "CountingOperator",
     "as_operator",
     "SolveResult",

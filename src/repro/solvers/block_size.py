@@ -139,18 +139,33 @@ def solve_with_dynamic_block_size(
     # -- probe phase (Algorithm 4 lines 1-12) --------------------------------
     res, t_old, cols_old = _solve_chunk(1)
     s = 1
-    _note_decision(BlockSizeDecision(1, cols_old, t_old, accepted=True))
+    # The size-1 probe's verdict is real, not a formality: a broken or
+    # unconverged probe is recorded as rejected and must not anchor the
+    # t_old comparison (its cost measures a failed solve, not size-1 work).
+    anchor_ok = res.converged and not res.breakdown
+    _note_decision(BlockSizeDecision(1, cols_old, t_old, accepted=anchor_ok))
+
+    def _verdict(result: SolveResult, t_new: float, cols_new: int) -> bool:
+        # Per-column cost comparison == the paper's t_new <= 2 t_old for
+        # full chunks, but stays fair for ragged trailing chunks. With no
+        # valid anchor, a healthy chunk is accepted on its own merits and
+        # becomes the new anchor.
+        if result.breakdown:
+            return False
+        if not anchor_ok:
+            return result.converged
+        return (t_new / cols_new) <= (t_old / cols_old)
+
     if next_col < n_rhs and max_block_size >= 2:
         res, t_new, cols_new = _solve_chunk(2)
         s = 2
         while next_col < n_rhs:
-            # Per-column cost comparison == the paper's t_new <= 2 t_old for
-            # full chunks, but stays fair for ragged trailing chunks.
-            efficient = (t_new / cols_new) <= (t_old / cols_old) and not res.breakdown
+            efficient = _verdict(res, t_new, cols_new)
             _note_decision(BlockSizeDecision(s, cols_new, t_new, accepted=efficient))
             if not efficient:
                 s = max(1, s // 2)
                 break
+            anchor_ok = True
             if 2 * s > max_block_size:
                 break
             t_old, cols_old = t_new, cols_new
@@ -158,7 +173,7 @@ def solve_with_dynamic_block_size(
             res, t_new, cols_new = _solve_chunk(s)
         else:
             # Queue exhausted during probing; record the final probe verdict.
-            efficient = (t_new / cols_new) <= (t_old / cols_old) and not res.breakdown
+            efficient = _verdict(res, t_new, cols_new)
             _note_decision(BlockSizeDecision(s, cols_new, t_new, accepted=efficient))
             if not efficient:
                 s = max(1, s // 2)

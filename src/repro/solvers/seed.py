@@ -55,6 +55,10 @@ def seed_solve(
     if b.ndim != 2 or b.shape[1] < 1:
         raise ValueError(f"b must be (n, s) with s >= 1, got {b.shape}")
     A = as_operator(a, n if n is not None else b.shape[0])
+    # The shared CountingOperator accumulates applies across the whole
+    # scheme (and across anything the caller ran on it before); every
+    # result below must report its own *delta*, not the cumulative total.
+    applies_at_entry = A.n_applies
     n_rows, s = b.shape
     m = min(seed_basis_size, max_iterations, n_rows)
 
@@ -97,12 +101,16 @@ def seed_solve(
         x_seed = polish.solution
         results.append(polish)
     else:
-        results.append(SolveResult(x_seed, True, k_used, seed_rel, [seed_rel], A.n_applies))
+        results.append(SolveResult(x_seed, True, k_used, seed_rel, [seed_rel]))
 
     # -- projected guesses + polish for the remaining systems ----------------
     Vk = V[:, :k_used]
     AV = A(Vk)  # n x k block apply
     G = Vk.conj().T @ AV  # projected operator
+    # Charge the seed solve with everything so far: the Arnoldi sweep, its
+    # residual check, the optional polish, and the basis-projection block
+    # apply (seed-scheme infrastructure that exists only for the seed basis).
+    results[0].n_matvec = A.n_applies - applies_at_entry
     solution = np.empty_like(b)
     solution[:, 0] = x_seed
     for i in range(1, s):
@@ -112,7 +120,9 @@ def seed_solve(
         except np.linalg.LinAlgError:
             coeffs = np.linalg.lstsq(G, rhs_proj, rcond=None)[0]
         guess = Vk @ coeffs
+        applies_before = A.n_applies
         res = cocg_solve(A, b[:, i], x0=guess, tol=tol, max_iterations=max_iterations)
+        res.n_matvec = A.n_applies - applies_before
         solution[:, i] = res.solution
         results.append(res)
     return solution, results

@@ -83,3 +83,47 @@ class TestProcessBackend:
         with pytest.raises(ValueError):
             op.apply_chi0(np.ones(toy_dft.grid.n_points), omega=0.0)
         op.close()
+
+
+class TestProcessRecycling:
+    def test_cache_survives_worker_dispatch(self, toy_dft, toy_coulomb):
+        from repro.solvers.recycle import SolveRecycler
+
+        op = ProcessChi0Operator(
+            toy_dft.hamiltonian, toy_dft.occupied_orbitals,
+            toy_dft.occupied_energies, toy_coulomb,
+            n_workers=2, tol=1e-8, max_iterations=2000,
+            dynamic_block_size=False, recycler=SolveRecycler(width=3))
+        with op:
+            rng = np.random.default_rng(21)
+            V = rng.standard_normal((toy_dft.grid.n_points, 3))
+            ref = op.apply_chi0(V, 0.6)
+            first = op.stats.n_matvec
+            # Stores happened parent-side even though solves ran in workers.
+            assert op.recycler.stats.stores == op.n_occupied
+            out = op.apply_chi0(V, 0.6)
+            second = op.stats.n_matvec - first
+        assert np.allclose(out, ref, atol=1e-8)
+        assert op.recycler.stats.hits == op.n_occupied
+        assert second < 0.25 * first  # exact guesses: residual checks only
+
+    def test_results_match_serial_recycling(self, toy_dft, toy_coulomb):
+        from repro.solvers.recycle import SolveRecycler
+
+        kwargs = dict(tol=1e-8, max_iterations=2000, dynamic_block_size=False)
+        serial = Chi0Operator(toy_dft.hamiltonian, toy_dft.occupied_orbitals,
+                              toy_dft.occupied_energies, toy_coulomb,
+                              recycler=SolveRecycler(width=2), **kwargs)
+        proc = ProcessChi0Operator(toy_dft.hamiltonian, toy_dft.occupied_orbitals,
+                                   toy_dft.occupied_energies, toy_coulomb,
+                                   n_workers=2, recycler=SolveRecycler(width=2),
+                                   **kwargs)
+        rng = np.random.default_rng(22)
+        V = rng.standard_normal((toy_dft.grid.n_points, 2))
+        with proc:
+            for omega in (0.9, 0.9, 0.4):
+                a = serial.apply_chi0(V, omega)
+                b = proc.apply_chi0(V, omega)
+                assert np.array_equal(a, b)
+        assert (proc.recycler.stats.as_dict()
+                == serial.recycler.stats.as_dict())

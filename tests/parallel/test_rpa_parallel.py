@@ -133,3 +133,24 @@ class TestThreadedBackend:
         with pytest.raises(ValueError):
             ThreadedChi0Operator(toy_dft.hamiltonian, toy_dft.occupied_orbitals,
                                  toy_dft.occupied_energies, toy_coulomb, n_workers=0)
+
+
+class TestParallelRecycling:
+    def test_recycled_energy_matches_cold(self, toy_dft, toy_coulomb):
+        import dataclasses
+
+        cfg = RPAConfig(n_eig=24, n_quadrature=3, seed=1, tol_sternheimer=1e-6)
+        cold = compute_rpa_energy_parallel(toy_dft, cfg, n_ranks=3,
+                                           coulomb=toy_coulomb)
+        rec = compute_rpa_energy_parallel(
+            toy_dft, dataclasses.replace(cfg, use_recycling=True),
+            n_ranks=3, coulomb=toy_coulomb)
+        assert abs(rec.energy_per_atom - cold.energy_per_atom) <= 1e-6
+        assert rec.stats.n_matvec < cold.stats.n_matvec
+        # Each rank stores its own slice; full entries still assemble and
+        # rotate, so the cache serves guesses across the whole run.
+        assert rec.recycle is not None
+        assert rec.recycle.hits > 0
+        assert rec.recycle.rotations > 0
+        assert rec.recycle.omega_seeds > 0
+        assert cold.recycle is None

@@ -119,3 +119,98 @@ class TestDynamicBlockSize:
         ref = block_cocg_solve(A, B, tol=1e-9, max_iterations=2000)
         assert dyn.converged and ref.converged
         assert np.allclose(dyn.solution, ref.solution, atol=1e-6)
+
+
+def _scripted_solver(script):
+    """Stub solver replaying (converged, breakdown, cost_weight) per call.
+
+    Returns exact zero-residual solutions so only the probe verdicts are
+    under test; ``cost_weight`` feeds the cost function through
+    ``iterations`` (the deterministic channel the FLOP model reads).
+    """
+    from repro.solvers.stats import SolveResult
+
+    calls = []
+
+    def solver(a, b, x0=None, tol=0.0, max_iterations=0, n=None, **kwargs):
+        converged, breakdown, weight = script[min(len(calls), len(script) - 1)]
+        calls.append(b.shape[1])
+        return SolveResult(
+            solution=np.zeros_like(b),
+            converged=converged,
+            iterations=int(weight),
+            residual_norm=0.0 if converged else 1.0,
+            residual_history=[1.0],
+            n_matvec=0,
+            breakdown=breakdown,
+            block_size=b.shape[1],
+        )
+
+    solver.calls = calls
+    return solver
+
+
+def _unit_cost(result, _wall):
+    # Per-chunk cost == scripted weight, independent of wall clock.
+    return float(result.iterations)
+
+
+class TestFirstProbeVerdict:
+    """Algorithm 4's size-1 probe must record its real outcome (the seeded
+    bug recorded accepted=True unconditionally and let a broken probe
+    anchor the cost comparison)."""
+
+    def test_broken_first_probe_recorded_rejected(self):
+        solver = _scripted_solver([(False, True, 1.0), (True, False, 4.0)])
+        res = solve_with_dynamic_block_size(
+            np.eye(8) + 0j, _rhs(8, 8, seed=40), solver=solver,
+            cost_fn=_unit_cost)
+        first = res.decisions[0]
+        assert first.block_size == 1
+        assert first.accepted is False
+
+    def test_unconverged_first_probe_recorded_rejected(self):
+        solver = _scripted_solver([(False, False, 1.0), (True, False, 4.0)])
+        res = solve_with_dynamic_block_size(
+            np.eye(8) + 0j, _rhs(8, 8, seed=41), solver=solver,
+            cost_fn=_unit_cost)
+        assert res.decisions[0].accepted is False
+
+    def test_broken_probe_does_not_anchor_cost(self):
+        # Broken size-1 probe is artificially cheap (cost 1). A healthy
+        # size-2 chunk (cost 100) must still be accepted on its own merits
+        # instead of being compared against the failed probe's cost.
+        solver = _scripted_solver([
+            (False, True, 1.0),     # size 1: breakdown, cheap
+            (True, False, 100.0),   # size 2: healthy but "slow"
+            (True, False, 300.0),   # size 4: worse per column than size 2
+        ])
+        res = solve_with_dynamic_block_size(
+            np.eye(8) + 0j, _rhs(8, 16, seed=42), solver=solver,
+            cost_fn=_unit_cost)
+        sizes_accepted = {d.block_size: d.accepted for d in res.decisions}
+        assert sizes_accepted[1] is False
+        assert sizes_accepted[2] is True   # own merits, not vs broken anchor
+        assert sizes_accepted[4] is False  # 300/4 > 100/2: real comparison
+        assert res.selected_block_size == 2
+
+    def test_healthy_first_probe_still_accepted(self):
+        solver = _scripted_solver([(True, False, 1.0)])
+        res = solve_with_dynamic_block_size(
+            np.eye(8) + 0j, _rhs(8, 4, seed=43), solver=solver,
+            cost_fn=_unit_cost)
+        assert res.decisions[0].accepted is True
+
+    def test_breakdown_chunk_never_accepted_even_without_anchor(self):
+        # With no valid anchor, only *healthy* chunks may self-anchor.
+        solver = _scripted_solver([
+            (False, True, 1.0),   # size 1: breakdown
+            (False, True, 1.0),   # size 2: breakdown too
+            (True, False, 1.0),   # steady phase at size 1
+        ])
+        res = solve_with_dynamic_block_size(
+            np.eye(8) + 0j, _rhs(8, 12, seed=44), solver=solver,
+            cost_fn=_unit_cost)
+        sizes_accepted = {d.block_size: d.accepted for d in res.decisions}
+        assert sizes_accepted[2] is False
+        assert res.selected_block_size == 1

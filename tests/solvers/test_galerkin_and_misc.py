@@ -125,6 +125,32 @@ class TestSeedMethod:
         with pytest.raises(ValueError):
             seed_solve(A, np.zeros((10, 2)))  # zero seed
 
+    def test_per_solve_matvecs_are_deltas(self):
+        # Each result must report its own solve's applies, not the shared
+        # CountingOperator's cumulative total; the records must partition
+        # the work done inside seed_solve exactly.
+        n = 50
+        A = as_operator(make_indefinite_sternheimer(n, seed=30, omega=0.5))
+        rng = np.random.default_rng(31)
+        B = rng.standard_normal((n, 4)) + 0j
+        _, results = seed_solve(A, B, tol=1e-8, max_iterations=2000)
+        assert sum(r.n_matvec for r in results) == A.n_applies
+        assert all(r.n_matvec >= 0 for r in results)
+        # Cumulative reporting would make the last record carry the whole
+        # run's total; a delta is strictly smaller.
+        assert results[-1].n_matvec < A.n_applies
+
+    def test_matvec_accounting_ignores_prior_operator_use(self):
+        # Applies accumulated on the operator *before* seed_solve must not
+        # leak into any record.
+        n = 40
+        A = as_operator(make_indefinite_sternheimer(n, seed=32, omega=0.5))
+        rng = np.random.default_rng(33)
+        A(rng.standard_normal((n, 7)) + 0j)  # 7 unrelated applies
+        B = rng.standard_normal((n, 3)) + 0j
+        _, results = seed_solve(A, B, tol=1e-8, max_iterations=2000)
+        assert sum(r.n_matvec for r in results) == A.n_applies - 7
+
 
 class TestPreconditioner:
     def test_spd_and_symmetric_application(self):

@@ -1,0 +1,201 @@
+"""Tests for the Sternheimer solve-recycling cache."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.recycle import SolveRecycler
+
+
+def _block(n, s, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, s)) + 1j * rng.standard_normal((n, s))
+
+
+class TestStoreAndGuess:
+    def test_cold_cache_misses(self):
+        rec = SolveRecycler(width=4)
+        assert rec.guess(0, 0.5, 4) is None
+        assert rec.stats.misses == 1
+        assert rec.stats.served == 0
+
+    def test_exact_hit_roundtrip(self):
+        rec = SolveRecycler(width=4)
+        Y = _block(10, 4, seed=1)
+        assert rec.store(3, 0.5, Y)
+        out = rec.guess(3, 0.5, 4)
+        assert np.array_equal(out, Y)
+        assert rec.stats.hits == 1 and rec.stats.misses == 0
+
+    def test_guess_returns_a_copy(self):
+        rec = SolveRecycler(width=2)
+        Y = _block(6, 2, seed=2)
+        rec.store(0, 0.5, Y)
+        out = rec.guess(0, 0.5, 2)
+        out[:] = 0.0
+        again = rec.guess(0, 0.5, 2)
+        assert np.array_equal(again, Y)
+
+    def test_cross_omega_lookup_counts_as_seed(self):
+        rec = SolveRecycler(width=3)
+        Y = _block(8, 3, seed=3)
+        rec.store(1, 2.0, Y)
+        out = rec.guess(1, 0.7, 3)
+        assert np.array_equal(out, Y)
+        assert rec.stats.omega_seeds == 1 and rec.stats.hits == 0
+        assert rec.stats.served == 1
+
+    def test_unconverged_store_is_skipped(self):
+        rec = SolveRecycler(width=2)
+        assert not rec.store(0, 0.5, _block(6, 2), converged=False)
+        assert rec.stats.skipped_stores == 1
+        assert rec.guess(0, 0.5, 2) is None
+
+    def test_width_overflow_skips_store_and_guess(self):
+        # Stochastic trace probes have a different column count; they must
+        # bypass the cache entirely.
+        rec = SolveRecycler(width=2)
+        assert not rec.store(0, 0.5, _block(6, 5))
+        rec.store(0, 0.5, _block(6, 2))
+        assert rec.guess(0, 0.5, 5) is None
+
+    def test_row_mismatch_skips_store(self):
+        rec = SolveRecycler(width=2)
+        rec.store(0, 0.5, _block(6, 2))
+        assert not rec.store(0, 0.5, _block(9, 2))
+        assert rec.stats.skipped_stores == 1
+
+    def test_max_orbitals_cap(self):
+        rec = SolveRecycler(width=2, max_orbitals=1)
+        assert rec.store(0, 0.5, _block(6, 2))
+        assert not rec.store(1, 0.5, _block(6, 2))
+        assert rec.n_cached_orbitals == 1
+
+    def test_single_column_store(self):
+        rec = SolveRecycler(width=3)
+        y = _block(6, 1, seed=4)[:, 0]
+        with rec.columns(1, 2):
+            rec.store(0, 0.5, y)
+            out = rec.guess(0, 0.5, 1)
+        assert np.array_equal(out[:, 0], y)
+
+    def test_paused_blocks_lookups_and_stores(self):
+        rec = SolveRecycler(width=2)
+        rec.store(0, 0.5, _block(6, 2))
+        with rec.paused():
+            assert rec.guess(0, 0.5, 2) is None
+            assert not rec.store(1, 0.5, _block(6, 2))
+        assert rec.guess(0, 0.5, 2) is not None
+
+    def test_clear_and_memory(self):
+        rec = SolveRecycler(width=4)
+        rec.store(0, 0.5, _block(10, 4))
+        assert rec.memory_bytes() == 10 * 4 * 16
+        rec.clear()
+        assert rec.n_cached_orbitals == 0 and rec.memory_bytes() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SolveRecycler(width=0)
+        with pytest.raises(ValueError):
+            SolveRecycler(width=4, max_orbitals=0)
+        rec = SolveRecycler(width=4)
+        with pytest.raises(ValueError):
+            with rec.columns(2, 2):
+                pass
+        with pytest.raises(ValueError):
+            with rec.columns(0, 5):
+                pass
+
+
+class TestColumnSlices:
+    def test_disjoint_slices_assemble_full_entry(self):
+        # The simulated-MPI pattern: two ranks store disjoint halves.
+        rec = SolveRecycler(width=4)
+        Y = _block(8, 4, seed=5)
+        with rec.columns(0, 2):
+            rec.store(0, 0.5, Y[:, :2])
+        with rec.columns(2, 4):
+            rec.store(0, 0.5, Y[:, 2:])
+        assert np.array_equal(rec.guess(0, 0.5, 4), Y)
+
+    def test_incomplete_entry_misses_wider_lookup(self):
+        rec = SolveRecycler(width=4)
+        Y = _block(8, 4, seed=6)
+        with rec.columns(0, 2):
+            rec.store(0, 0.5, Y[:, :2])
+            # The stored slice itself is servable ...
+            assert rec.guess(0, 0.5, 2) is not None
+        # ... but the full block is not.
+        assert rec.guess(0, 0.5, 4) is None
+
+    def test_sliced_lookup_respects_offset(self):
+        rec = SolveRecycler(width=4)
+        Y = _block(8, 4, seed=7)
+        rec.store(0, 0.5, Y)
+        with rec.columns(2, 4):
+            out = rec.guess(0, 0.5, 2)
+        assert np.array_equal(out, Y[:, 2:])
+
+
+class TestRotation:
+    def test_rotation_tracks_exact_solution(self):
+        # Linearity: if Y solves A Y = B then Y Q solves A (Y Q) = B Q.
+        rng = np.random.default_rng(8)
+        n, s = 12, 4
+        A = rng.standard_normal((n, n)) + 1j * np.eye(n)
+        Y = _block(n, s, seed=9)
+        B = A @ Y
+        rec = SolveRecycler(width=s)
+        rec.store(0, 0.5, Y)
+        Q = np.linalg.qr(rng.standard_normal((s, s)))[0]
+        rec.rotate(Q)
+        out = rec.guess(0, 0.5, s)
+        assert np.allclose(A @ out, B @ Q, atol=1e-10)
+        assert rec.stats.rotations == 1
+
+    def test_square_rotation_preserves_omega_tags(self):
+        rec = SolveRecycler(width=3)
+        rec.store(0, 0.5, _block(6, 3))
+        rec.rotate(np.eye(3))
+        rec.guess(0, 0.5, 3)
+        assert rec.stats.hits == 1  # still an exact hit, not a seed
+
+    def test_mixed_omega_entry_becomes_seed_after_rotation(self):
+        rec = SolveRecycler(width=2)
+        with rec.columns(0, 1):
+            rec.store(0, 0.5, _block(6, 1))
+        with rec.columns(1, 2):
+            rec.store(0, 0.9, _block(6, 1))
+        rec.rotate(np.eye(2))
+        rec.guess(0, 0.5, 2)
+        assert rec.stats.hits == 0 and rec.stats.omega_seeds == 1
+
+    def test_incomplete_entries_dropped_on_rotation(self):
+        rec = SolveRecycler(width=4)
+        with rec.columns(0, 2):
+            rec.store(0, 0.5, _block(8, 2))
+        rec.store(1, 0.5, _block(8, 4))
+        rec.rotate(np.eye(4))
+        assert rec.stats.dropped == 1
+        assert rec.guess(0, 0.5, 4) is None
+        assert rec.guess(1, 0.5, 4) is not None
+
+    def test_foreign_width_rotation_is_ignored(self):
+        rec = SolveRecycler(width=4)
+        rec.store(0, 0.5, _block(8, 4))
+        rec.rotate(np.eye(7))  # some other block's Q
+        assert rec.stats.rotations == 0
+        assert rec.guess(0, 0.5, 4) is not None
+
+    def test_nonsquare_rotation_reshapes_every_entry(self):
+        rec = SolveRecycler(width=4)
+        Y0, Y1 = _block(8, 4, seed=10), _block(8, 4, seed=11)
+        rec.store(0, 0.5, Y0)
+        rec.store(1, 0.5, Y1)
+        Q = np.linalg.qr(np.random.default_rng(12).standard_normal((4, 3)))[0]
+        rec.rotate(Q)
+        assert rec.width == 3
+        out0, out1 = rec.guess(0, 0.5, 3), rec.guess(1, 0.5, 3)
+        assert np.allclose(out0, Y0 @ Q) and np.allclose(out1, Y1 @ Q)
+        # Dimension change invalidates omega tags on *all* entries.
+        assert rec.stats.omega_seeds == 2
