@@ -1,0 +1,102 @@
+"""Verification overhead — ``--verify off`` must cost nothing, ``cheap`` little.
+
+The invariant layer rides the same contract as the observability layer:
+every check site guards with ``verifier.enabled`` against the shared
+``NULL_VERIFIER``, and an enabled verifier only *reads* pipeline state
+(probing with its private RNG), so it cannot perturb the computation.
+This bench pins both halves of the contract on the paper's 8-point
+quadrature pipeline:
+
+1. runs at ``off``, ``cheap`` and ``full`` produce bit-identical energies
+   (not approximately equal — identical floats);
+2. the disabled-path cost (per-site guard bundle x number of guarded sites
+   in a real run) stays under 1% of the pipeline walltime;
+3. the ``cheap`` level's measured walltime overhead stays under 5%.
+"""
+
+import time
+
+from repro.config import RPAConfig
+from repro.core import compute_rpa_energy
+from repro.verify import NULL_VERIFIER, get_verifier
+
+from benchmarks.conftest import write_report
+
+N_CAL = 200_000
+
+
+def disabled_guard_seconds(n: int = N_CAL) -> float:
+    """Per-iteration cost of the disabled verifier guard bundle."""
+    assert get_verifier() is NULL_VERIFIER
+    t0 = time.perf_counter()
+    for _ in range(n):
+        vf = get_verifier()
+        if vf.enabled:  # every check site's hot-loop guard
+            raise AssertionError("unreachable")
+        if vf.enabled and vf.full:
+            raise AssertionError("unreachable")
+    return (time.perf_counter() - t0) / n
+
+
+def _timed_run(dft, coulomb, level: str):
+    cfg = RPAConfig(n_eig=16, n_quadrature=8, seed=0, verify_level=level)
+    t0 = time.perf_counter()
+    result = compute_rpa_energy(dft, cfg, coulomb=coulomb)
+    return result, time.perf_counter() - t0
+
+
+def test_verify_overhead(benchmark, toy_system):
+    dft, coulomb = toy_system
+    _timed_run(dft, coulomb, "off")  # warm caches before timing
+
+    results, walls = {}, {}
+    for level in ("off", "cheap", "full"):
+        walls[level] = []
+        for _ in range(3):
+            results[level], wall = _timed_run(dft, coulomb, level)
+            walls[level].append(wall)
+    off_wall = min(walls["off"])
+    cheap_wall = min(walls["cheap"])
+
+    # 1. Verification must not perturb the computation: bit-identical runs.
+    e_off = results["off"].energy
+    assert results["cheap"].energy == e_off
+    assert results["full"].energy == e_off
+    for level in ("cheap", "full"):
+        for p_off, p_lvl in zip(results["off"].points, results[level].points):
+            assert p_lvl.energy_contribution == p_off.energy_contribution
+    assert results["off"].verify is None
+    assert results["cheap"].verify["failures"] == []
+    assert results["full"].verify["failures"] == []
+
+    # 2. Disabled-path guard cost across every guarded site of a real run.
+    per_guard = benchmark.pedantic(disabled_guard_seconds, rounds=3,
+                                   iterations=1)
+    if per_guard is None:  # pedantic returns None on some plugin versions
+        per_guard = disabled_guard_seconds()
+    n_sites = results["full"].verify["checks_run"]
+    assert n_sites > 100  # the pipeline really is instrumented
+    off_overhead = n_sites * per_guard / off_wall
+    assert off_overhead < 0.01, (
+        f"disabled verify guard overhead {100 * off_overhead:.3f}% >= 1%")
+
+    # 3. Cheap-level walltime overhead on the 8-point pipeline.
+    cheap_ratio = cheap_wall / off_wall - 1.0
+    assert cheap_ratio < 0.05, (
+        f"--verify cheap overhead {100 * cheap_ratio:.2f}% >= 5% "
+        f"({cheap_wall:.3f}s vs {off_wall:.3f}s)")
+
+    write_report(
+        "verify_overhead",
+        "Verification overhead (toy pipeline, 8-point quadrature)\n"
+        f"energies off/cheap/full            : bit-identical ({e_off:.12e})\n"
+        f"checks per full run                : {n_sites}\n"
+        f"disabled guard cost                : {per_guard * 1e9:.0f} ns/site\n"
+        f"estimated off overhead             : {100 * off_overhead:.4f}% (< 1% required)\n"
+        f"off walltime (best of 3)           : {off_wall:.3f} s\n"
+        f"cheap walltime (best of 3)         : {cheap_wall:.3f} s\n"
+        f"cheap overhead                     : {100 * cheap_ratio:.2f}% (< 5% required)\n"
+        f"full walltime (best of 3)          : {min(walls['full']):.3f} s",
+    )
+    benchmark.extra_info["cheap_overhead"] = float(cheap_ratio)
+    benchmark.extra_info["checks_run"] = int(n_sites)

@@ -151,6 +151,12 @@ def main(argv: list[str] | None = None) -> int:
                         default="degrade",
                         help="when a solve exhausts its chain: 'degrade' reports an "
                              "explicit error bound, 'raise' aborts the run")
+    parser.add_argument("--verify", choices=("off", "cheap", "full"), default="off",
+                        help="runtime invariant checking (repro.verify): 'cheap' "
+                             "probes operator symmetry, spot-checks solve residuals "
+                             "and the quadrature/trace identities; 'full' re-verifies "
+                             "every solve and the Rayleigh-Ritz basis. Failures are "
+                             "reported on stderr and as verify_* counters")
     args = parser.parse_args(argv)
 
     tracer = NULL_TRACER if args.no_obs else Tracer()
@@ -202,6 +208,12 @@ def _run(args, tracer) -> int:
               f"budget={resilience.matvec_budget or 'none'}, "
               f"retries={resilience.max_solve_attempts}, "
               f"on_failure={resilience.on_failure}", file=sys.stderr)
+    if args.verify != "off":
+        from dataclasses import replace
+
+        config = replace(config, verify_level=args.verify)
+        print(f"verify: runtime invariant checks at level '{args.verify}'",
+              file=sys.stderr)
 
     print(f"system {crystal.label}: {crystal.n_atoms} atoms, grid {grid.shape} "
           f"(n_d = {grid.n_points}), n_eig = {config.n_eig}", file=sys.stderr)
@@ -234,7 +246,7 @@ def _run(args, tracer) -> int:
             n_rank_failures=par.n_rank_failures,
             degraded_error_bound=par.degraded_error_bound,
         )
-        return 0
+        return _verify_exit_code(par.verify)
 
     result = compute_rpa_energy(dft, config, coulomb=coulomb)
     _print_resilience_summary(result.stats)
@@ -263,7 +275,19 @@ def _run(args, tracer) -> int:
         degraded_error_bound=result.degraded_error_bound,
         skipped_solve_error_bound=result.skipped_solve_error_bound,
     )
-    return 0
+    return _verify_exit_code(result.verify)
+
+
+def _verify_exit_code(verify: dict | None) -> int:
+    """Exit status from a run's verifier summary (0 when off or clean)."""
+    if verify is None:
+        return 0
+    failures = verify["failures"]
+    print(f"verify: {verify['checks_run']} invariant check(s) at level "
+          f"'{verify['level']}', {len(failures)} failure(s)", file=sys.stderr)
+    for f in failures:
+        print(f"verify FAILURE [{f['check']}]: {f['message']}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _print_resilience_summary(stats) -> None:

@@ -139,6 +139,13 @@ class RPAConfig:
         serve them as initial guesses — including seeding each new
         quadrature point from the previous one. Off by default (cold
         solves reproduce the historical matvec counts exactly).
+    verify_level:
+        Runtime invariant checking (``repro.verify``): ``"off"`` (default;
+        zero-cost, bit-identical to an unverified build), ``"cheap"``
+        (O(1)-per-event probes: operator symmetry, residual spot checks,
+        quadrature/trace identities) or ``"full"`` (every solve re-verified,
+        basis orthonormality, rotation conditioning). Failures surface as
+        ``verify_*`` tracer counters and on the installed verifier.
     use_preconditioner:
         Apply the Section V shifted inverse-Laplacian preconditioner
         selectively, to the difficult (indefinite spectrum, small omega)
@@ -166,6 +173,7 @@ class RPAConfig:
     seed: int | None = None
     trace_method: str = "eigenvalues"  # "eigenvalues" | "lanczos" | "block_lanczos" | "hutchinson"
     resilience: ResilienceConfig | None = None  # None = plain solver, no escalation
+    verify_level: str = "off"  # "off" | "cheap" | "full" (repro.verify)
 
     def __post_init__(self) -> None:
         if self.n_eig <= 0:
@@ -178,6 +186,10 @@ class RPAConfig:
             raise ValueError("filter_degree must be >= 1")
         if self.trace_method not in ("eigenvalues", "lanczos", "block_lanczos", "hutchinson"):
             raise ValueError(f"unknown trace_method {self.trace_method!r}")
+        if self.verify_level not in ("off", "cheap", "full"):
+            raise ValueError(
+                f"verify_level must be 'off', 'cheap' or 'full', got {self.verify_level!r}"
+            )
         if isinstance(self.tol_subspace, (int, float)):
             self.tol_subspace = (float(self.tol_subspace),) * self.n_quadrature
         else:

@@ -45,11 +45,30 @@ class FrequencyQuadrature:
     def __len__(self) -> int:
         return len(self.points)
 
-    def integrate(self, values: np.ndarray) -> float:
-        """``sum_k w_k values_k`` for integrand samples at the points."""
-        values = np.asarray(values, dtype=float)
+    def integrate(self, values: np.ndarray, imag_tol: float = 1e-10) -> float:
+        """``sum_k w_k values_k`` for integrand samples at the points.
+
+        The RPA integrand is real by construction; complex samples are
+        accepted only when their imaginary parts are numerical noise. A
+        relative imaginary magnitude above ``imag_tol`` raises (an upstream
+        trace evaluation went wrong) instead of being silently truncated —
+        ``np.asarray(values, dtype=float)`` used to discard it with nothing
+        but a ``ComplexWarning``.
+        """
+        values = np.asarray(values)
         if values.shape != self.points.shape:
             raise ValueError(f"expected {self.points.shape} samples, got {values.shape}")
+        if np.iscomplexobj(values):
+            imag_max = float(np.abs(values.imag).max())
+            scale = max(float(np.abs(values).max()), 1.0)
+            if imag_max > imag_tol * scale:
+                raise ValueError(
+                    f"integrand samples have non-negligible imaginary parts "
+                    f"(max |Im| = {imag_max:.3e}, tol {imag_tol:g} * {scale:.3e}); "
+                    f"refusing to silently discard them"
+                )
+            values = values.real
+        values = np.asarray(values, dtype=float)
         return float(self.weights @ values)
 
 

@@ -11,6 +11,7 @@ everything the paper's output log reports.
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,6 +31,7 @@ from repro.grid.coulomb import CoulombOperator
 from repro.obs.tracer import get_tracer
 from repro.utils.rng import default_rng
 from repro.utils.timing import KernelTimers
+from repro.verify.invariants import get_verifier, use_verifier, verifier_for_level
 
 
 @dataclass
@@ -69,6 +71,7 @@ class RPAEnergyResult:
     elapsed_seconds: float = 0.0
     final_vectors: np.ndarray | None = None
     recycle: "RecycleStats | None" = None  # solve-cache accounting (None = cold run)
+    verify: dict | None = None  # Verifier.summary() (None = verification off)
 
     @property
     def converged(self) -> bool:
@@ -113,6 +116,14 @@ class RPAEnergyResult:
                 f"Solve recycling: {r.hits} hits, {r.omega_seeds} cross-omega "
                 f"seeds, {r.misses} misses ({self.stats.n_matvec} matvecs total)"
             )
+        if self.verify is not None:
+            n_fail = len(self.verify["failures"])
+            lines.append(
+                f"Invariant checks ({self.verify['level']}): "
+                f"{self.verify['checks_run']} run, {n_fail} failed"
+            )
+            for f in self.verify["failures"]:
+                lines.append(f"  VERIFY FAILURE [{f['check']}]: {f['message']}")
         return "\n".join(lines)
 
 
@@ -202,8 +213,21 @@ def compute_rpa_energy(
 
     energy = 0.0
     points: list[OmegaPointResult] = []
-    with tracer.span("rpa_energy", system=dft.crystal.label, n_eig=config.n_eig,
-                     n_quadrature=config.n_quadrature):
+    with ExitStack() as stack:
+        # Install the invariant checker for the duration of the sweep.
+        # An already-active verifier (e.g. installed by the differential
+        # harness or a test) takes precedence over the config level.
+        verifier = get_verifier()
+        if config.verify_level != "off" and not verifier.enabled:
+            verifier = stack.enter_context(
+                use_verifier(verifier_for_level(config.verify_level))
+            )
+        if verifier.enabled:
+            verifier.check_quadrature(quad)
+        stack.enter_context(
+            tracer.span("rpa_energy", system=dft.crystal.label,
+                        n_eig=config.n_eig, n_quadrature=config.n_quadrature)
+        )
         for k in range(1, len(quad) + 1):
             omega = float(quad.points[k - 1])
             weight = float(quad.weights[k - 1])
@@ -240,6 +264,13 @@ def compute_rpa_energy(
                         e_k = _energy_term(sub, chi0_operator, omega, config)
                 else:
                     e_k = _energy_term(sub, chi0_operator, omega, config)
+                if verifier.enabled and config.trace_method == "eigenvalues":
+                    # Eq. 1 integrand vs the dielectric-route trace over the
+                    # same partial spectrum (mu_i are the Ritz values of
+                    # nu^{1/2} chi0 nu^{1/2}, eps_i = 1 - mu_i).
+                    verifier.check_trace_identity(
+                        sub.eigenvalues, e_k, index=k, omega=omega
+                    )
                 point_bound = (
                     chi0_operator.stats.degraded_error_bound - bound_before
                 )
@@ -280,6 +311,7 @@ def compute_rpa_energy(
         elapsed_seconds=time.perf_counter() - start,
         final_vectors=V.copy() if keep_vectors else None,
         recycle=recycler.stats if recycler is not None else None,
+        verify=verifier.summary() if verifier.enabled else None,
     )
 
 

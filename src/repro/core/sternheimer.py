@@ -31,6 +31,7 @@ from repro.solvers.preconditioner import ShiftedLaplacianPreconditioner, should_
 from repro.solvers.recycle import SolveRecycler
 from repro.solvers.stats import SolveSummary
 from repro.utils.timing import KernelTimers
+from repro.verify.invariants import get_verifier
 
 
 @dataclass
@@ -314,6 +315,25 @@ class Chi0Operator:
         preconditioner = self._preconditioner_for(lam_j, omega)
         n_v = V.shape[1]
         tracer = get_tracer()
+        verifier = get_verifier()
+        if verifier.enabled:
+            # The COCG recurrences assume A = A^T (unconjugated); probe it on
+            # the *raw* shifted operator so solver matvec counters are
+            # untouched. Cached per (orbital, omega) at the cheap level.
+            verifier.check_operator_symmetry(
+                apply_a, self.n_points, key=(j, float(omega)),
+                orbital=j, omega=float(omega),
+            )
+            if (guess_source == "recycled" and x0 is not None
+                    and self.recycler is not None
+                    and self.recycler.last_guess_kind == "hit"
+                    and self.recycler.last_guess_slice is not None):
+                # Compare the served guess to its rotation-tracked shadow
+                # projection *before* the solve touches it.
+                verifier.check_recycled_shadow(
+                    j, float(omega), x0, self.recycler.last_guess_slice[0],
+                    self.recycler.width,
+                )
         with tracer.span("sternheimer_solve", orbital=j, omega=omega,
                          n_rhs=n_v, guess=guess_source,
                          preconditioned=preconditioner is not None) as sp:
@@ -360,6 +380,24 @@ class Chi0Operator:
                 if tracer.enabled:
                     tracer.incr("preconditioned_solves")
             converged = all(r.converged for r in results)
+            if verifier.enabled:
+                claimed = max((r.residual_norm for r in results),
+                              default=float("nan"))
+                verifier.check_solve_residual(
+                    apply_a, B, Y, self.tol, claimed, converged,
+                    orbital=j, omega=float(omega),
+                )
+                if (guess_source == "recycled"
+                        and self.recycler is not None
+                        and self.recycler.last_guess_kind == "hit"
+                        and results and results[0].residual_history):
+                    # Exact (orbital, omega) hits are exact solutions by
+                    # linearity of the rotated cache; cross-omega seeds are
+                    # only approximate and are not held to this bound.
+                    verifier.check_recycled_guess(
+                        float(results[0].residual_history[0]), self.tol,
+                        orbital=j, omega=float(omega),
+                    )
             if guess_source == "recycled" and results and results[0].residual_history:
                 # residual_history[0] is the relative residual of the served
                 # guess — the solver measured it anyway, so the gauge is free.
@@ -368,7 +406,13 @@ class Chi0Operator:
                                  results[0].residual_history[0],
                                  orbital=j, omega=omega)
             if self.recycler is not None and guess_source != "explicit":
-                self.recycler.store(j, omega, Y, converged=converged)
+                stored = self.recycler.store(j, omega, Y, converged=converged)
+                if (stored and verifier.enabled
+                        and self.recycler.last_store_slice is not None):
+                    verifier.note_recycle_store(
+                        j, float(omega), Y, self.recycler.last_store_slice[0],
+                        self.recycler.width,
+                    )
             self._account_failures(j, omega, B, results)
             return Y
 

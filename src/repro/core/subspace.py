@@ -25,6 +25,7 @@ import scipy.linalg
 from repro.dft.eigensolvers import chebyshev_filter
 from repro.obs.tracer import get_tracer
 from repro.utils.timing import KernelTimers
+from repro.verify.invariants import get_verifier
 
 
 @dataclass
@@ -90,17 +91,29 @@ def filtered_subspace_iteration(
         raise ValueError("tol must be positive")
     if degree < 1:
         raise ValueError("degree must be >= 1")
-    V = np.array(v0, dtype=float, copy=True)
+    # Complex initial blocks are legitimate (the operator is Hermitian, not
+    # real symmetric, in general); preserve the dtype instead of silently
+    # truncating imaginary parts. Real input keeps the historical float path.
+    v0_dtype = complex if np.iscomplexobj(v0) else float
+    V = np.array(v0, dtype=v0_dtype, copy=True)
     if V.ndim != 2:
         raise ValueError(f"v0 must be a block (n_d, n_eig), got shape {V.shape}")
     timers = timers if timers is not None else KernelTimers()
     tracer = get_tracer()
+    verifier = get_verifier()
 
     W = apply_op(V)
     vals, V, W, Q = _rayleigh_ritz(V, W, timers)
     if on_rotation is not None:
         on_rotation(Q)
+        if verifier.enabled:
+            verifier.note_recycler_rotation(Q)
     err = _eq7_error(V, W, vals, timers)
+    if verifier.enabled:
+        verifier.check_rotation(Q, iteration=0)
+        verifier.check_ritz_values(vals, err, iteration=0)
+        if verifier.full:
+            verifier.check_basis_orthonormal(V, iteration=0)
     history = [err]
     if tracer.enabled:
         tracer.gauge("subspace_error", err, iteration=0)
@@ -117,7 +130,14 @@ def filtered_subspace_iteration(
             vals, V, W, Q = _rayleigh_ritz(V, W, timers)
             if on_rotation is not None:
                 on_rotation(Q)
+                if verifier.enabled:
+                    verifier.note_recycler_rotation(Q)
             err = _eq7_error(V, W, vals, timers)
+            if verifier.enabled:
+                verifier.check_rotation(Q, iteration=it)
+                verifier.check_ritz_values(vals, err, iteration=it)
+                if verifier.full:
+                    verifier.check_basis_orthonormal(V, iteration=it)
             sp.set(error=err)
         history.append(err)
         if tracer.enabled:
@@ -156,12 +176,19 @@ def _rayleigh_ritz(
 
     Returns ``(vals, V Q, W Q, Q)`` — ``Q`` is exposed so callers can feed
     rotation-covariant caches (the ``on_rotation`` hook).
+
+    The Gram matrices are the *sesquilinear* projections ``V^H W`` / ``V^H V``
+    — conjugation is required for complex blocks (``V.T @ V`` is complex
+    symmetric, not Hermitian, and ``eigh`` would silently operate on just
+    its lower triangle). For real blocks ``conj()`` is the identity, so the
+    historical float path is bit-for-bit unchanged.
     """
     with timers.region("matmult"):
-        hs = V.T @ W
-        ms = V.T @ V
-        hs = 0.5 * (hs + hs.T)
-        ms = 0.5 * (ms + ms.T)
+        vh = V.conj().T
+        hs = vh @ W
+        ms = vh @ V
+        hs = 0.5 * (hs + hs.conj().T)
+        ms = 0.5 * (ms + ms.conj().T)
     with timers.region("eigensolve"):
         try:
             vals, Q = scipy.linalg.eigh(hs, ms)

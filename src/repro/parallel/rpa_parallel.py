@@ -25,6 +25,7 @@ regenerated from these simulated walltimes.
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -52,6 +53,7 @@ from repro.parallel.distribution import (
 from repro.obs.tracer import get_tracer
 from repro.parallel.virtual_clock import VirtualClocks
 from repro.utils.rng import default_rng
+from repro.verify.invariants import get_verifier, use_verifier, verifier_for_level
 
 
 @dataclass
@@ -88,6 +90,7 @@ class ParallelRPAResult:
     block_size_cap: int = 1
     n_rank_failures: int = 0
     recycle: object | None = None  # RecycleStats when config.use_recycling
+    verify: dict | None = None  # Verifier.summary() (None = verification off)
 
     @property
     def converged(self) -> bool:
@@ -252,9 +255,22 @@ def compute_rpa_energy_parallel(
 
     energy = 0.0
     points: list[ParallelPointRecord] = []
-    with tracer.span("rpa_energy_parallel", system=dft.crystal.label,
-                     n_ranks=n_ranks, n_eig=config.n_eig,
-                     block_size_cap=block_cap):
+    with ExitStack() as stack:
+        # Invariant checking mirrors the serial driver: the config level
+        # installs a scoped verifier unless one is already active (e.g. the
+        # differential harness drives all backends under one verifier).
+        verifier = get_verifier()
+        if config.verify_level != "off" and not verifier.enabled:
+            verifier = stack.enter_context(
+                use_verifier(verifier_for_level(config.verify_level))
+            )
+        if verifier.enabled:
+            verifier.check_quadrature(quad)
+        stack.enter_context(
+            tracer.span("rpa_energy_parallel", system=dft.crystal.label,
+                        n_ranks=n_ranks, n_eig=config.n_eig,
+                        block_size_cap=block_cap)
+        )
         for k in range(1, len(quad) + 1):
             for r in sorted(r for r, kf in rank_faults.items()
                             if kf == k and r in assignment):
@@ -275,6 +291,8 @@ def compute_rpa_energy_parallel(
                 on_rotation=recycler.rotate if recycler is not None else None,
             )
             e_k = trace_from_eigenvalues(vals)
+            if verifier.enabled:
+                verifier.check_trace_identity(vals, e_k, index=k, omega=omega)
             energy += weight * e_k / (2.0 * np.pi)
             simulated = phases.clocks.elapsed - t_point0
             if tracer.enabled:
@@ -313,6 +331,7 @@ def compute_rpa_energy_parallel(
         block_size_cap=block_cap,
         n_rank_failures=n_rank_failures,
         recycle=recycler.stats if recycler is not None else None,
+        verify=verifier.summary() if verifier.enabled else None,
     )
 
 
@@ -331,10 +350,13 @@ def _parallel_subspace(
     p: int,
     on_rotation=None,
 ):
+    verifier = get_verifier()
     W = rankwise_apply(V, omega)
     vals, V, W = _parallel_rayleigh_ritz(V, W, phases, machine, p,
                                          on_rotation=on_rotation)
     err = _parallel_eq7(V, W, vals, phases, machine, p)
+    if verifier.enabled:
+        verifier.check_ritz_values(vals, err, driver="parallel", iteration=0)
     if err <= tol:
         return vals, V, True, 0
 
@@ -345,6 +367,8 @@ def _parallel_subspace(
         vals, V, W = _parallel_rayleigh_ritz(V, W, phases, machine, p,
                                              on_rotation=on_rotation)
         err = _parallel_eq7(V, W, vals, phases, machine, p)
+        if verifier.enabled:
+            verifier.check_ritz_values(vals, err, driver="parallel", iteration=it)
         if err <= tol:
             return vals, V, True, it
     return vals, V, False, max_iterations
@@ -361,10 +385,14 @@ def _parallel_rayleigh_ritz(V, W, phases: _Phases, machine: MachineProfile, p: i
     """ScaLAPACK phase: redistribution + pdgemm + pdsyevd + rotation."""
     n_d, m = V.shape
     t0 = time.perf_counter()
-    hs = V.T @ W
-    ms = V.T @ V
-    hs = 0.5 * (hs + hs.T)
-    ms = 0.5 * (ms + ms.T)
+    # Sesquilinear Grams (V^H W / V^H V), matching the serial _rayleigh_ritz:
+    # conjugation is a no-op for the real blocks this driver produces, but
+    # keeps the two implementations from diverging if complex blocks appear.
+    vh = V.conj().T
+    hs = vh @ W
+    ms = vh @ V
+    hs = 0.5 * (hs + hs.conj().T)
+    ms = 0.5 * (ms + ms.conj().T)
     t_mm = time.perf_counter() - t0
 
     t0 = time.perf_counter()
@@ -379,8 +407,15 @@ def _parallel_rayleigh_ritz(V, W, phases: _Phases, machine: MachineProfile, p: i
     V = V @ Q
     W = W @ Q
     t_rot = time.perf_counter() - t0
+    verifier = get_verifier()
     if on_rotation is not None:
         on_rotation(Q)
+        if verifier.enabled:
+            verifier.note_recycler_rotation(Q)
+    if verifier.enabled:
+        verifier.check_rotation(Q, driver="parallel")
+        if verifier.full:
+            verifier.check_basis_orthonormal(V, driver="parallel")
 
     # Simulated charges: redistribute V and W to block-cyclic, run the
     # parallel matmults and eigensolve, redistribute back.

@@ -112,6 +112,16 @@ class SolveRecycler:
         self.stats = RecycleStats()
         self._entries: dict[int, _Entry] = {}
         self._col0 = 0  # global column offset of the current operand slice
+        # How the most recent guess() was served: "hit" (exact
+        # (orbital, omega) match — exact by linearity after rotations),
+        # "seed" (cross-frequency warm start), or None (miss / disabled).
+        # Consumers (the verifier's recycled-guess linearity check) read it
+        # immediately after guess(); it carries no cross-call state.
+        self.last_guess_kind: str | None = None
+        # Global column slices of the most recent guess()/store(), for the
+        # verifier's shadow-projection bookkeeping (None on miss/skip).
+        self.last_guess_slice: tuple[int, int] | None = None
+        self.last_store_slice: tuple[int, int] | None = None
 
     # -- slice / lifecycle management -----------------------------------------
 
@@ -164,6 +174,8 @@ class SolveRecycler:
         :meth:`columns` scope it selects which cached columns are served.
         Returns a fresh array (callers may overwrite it freely).
         """
+        self.last_guess_kind = None
+        self.last_guess_slice = None
         if not self.enabled:
             return None
         lo, hi = self._col0, self._col0 + n_cols
@@ -177,12 +189,15 @@ class SolveRecycler:
         tags = entry.omegas[lo:hi]
         if np.all(tags == omega):
             self.stats.hits += 1
+            self.last_guess_kind = "hit"
             if tracer.enabled:
                 tracer.incr("recycle_hits")
         else:
             self.stats.omega_seeds += 1
+            self.last_guess_kind = "seed"
             if tracer.enabled:
                 tracer.incr("recycle_omega_seeds")
+        self.last_guess_slice = (lo, hi)
         return entry.solution[:, lo:hi].copy()
 
     def store(self, j: int, omega: float, solution: np.ndarray,
@@ -198,6 +213,7 @@ class SolveRecycler:
             solution = solution[:, None]
         n_cols = solution.shape[1]
         lo, hi = self._col0, self._col0 + n_cols
+        self.last_store_slice = None
         if not self.enabled or not converged or hi > self.width:
             self.stats.skipped_stores += 1
             return False
@@ -218,6 +234,7 @@ class SolveRecycler:
         entry.solution[:, lo:hi] = solution
         entry.omegas[lo:hi] = omega
         entry.valid[lo:hi] = True
+        self.last_store_slice = (lo, hi)
         self.stats.stores += 1
         tracer = get_tracer()
         if tracer.enabled:

@@ -46,11 +46,6 @@ class SolveResult:
         if self.iterations < 0:
             raise ValueError("iterations must be non-negative")
 
-    @staticmethod
-    def summarize(results: "Iterable[SolveResult]") -> "SolveSummary":
-        """Aggregate several block solves; see :class:`SolveSummary`."""
-        return SolveSummary.of(results)
-
 
 @dataclass
 class SolveSummary:

@@ -21,25 +21,52 @@ def check_square(a: np.ndarray, name: str = "matrix") -> None:
         raise ValueError(f"{name} must be square 2-D, got shape {a.shape}")
 
 
-def check_symmetric(a: np.ndarray, name: str = "matrix", atol: float = 1e-10) -> None:
-    """Check real/Hermitian symmetry ``A == A.conj().T`` within ``atol``."""
+def _symmetry_tolerance(a: np.ndarray, atol: float, rtol: float) -> float:
+    """Scale-relative deviation budget ``atol + rtol * max|A|``.
+
+    A fixed absolute tolerance is the wrong yardstick for symmetry checks:
+    Coulomb-scaled operators with entries of magnitude 1e6 accumulate
+    rounding of order ``1e6 * eps`` in any symmetrization, spuriously
+    failing ``atol=1e-10``, while for matrices with entries of order 1e-12
+    the same ``atol`` can never fail at all. Anchoring the budget to the
+    magnitude of ``A`` keeps the check meaningful at every scale.
+    """
+    scale = float(np.abs(a).max()) if a.size else 0.0
+    return atol + rtol * scale
+
+
+def check_symmetric(a: np.ndarray, name: str = "matrix", atol: float = 1e-10,
+                    rtol: float = 1e-12) -> None:
+    """Check real/Hermitian symmetry ``A == A.conj().T`` within
+    ``atol + rtol * max|A|``."""
     check_square(a, name)
-    if not np.allclose(a, a.conj().T, atol=atol):
-        dev = float(np.abs(a - a.conj().T).max())
-        raise ValueError(f"{name} is not Hermitian/symmetric (max deviation {dev:.3e})")
+    tol = _symmetry_tolerance(a, atol, rtol)
+    dev = float(np.abs(a - a.conj().T).max()) if a.size else 0.0
+    if not dev <= tol:
+        raise ValueError(
+            f"{name} is not Hermitian/symmetric "
+            f"(max deviation {dev:.3e} > tolerance {tol:.3e})"
+        )
 
 
-def check_complex_symmetric(a: np.ndarray, name: str = "matrix", atol: float = 1e-10) -> None:
-    """Check the *unconjugated* symmetry ``A == A.T`` the COCG solver requires."""
+def check_complex_symmetric(a: np.ndarray, name: str = "matrix", atol: float = 1e-10,
+                            rtol: float = 1e-12) -> None:
+    """Check the *unconjugated* symmetry ``A == A.T`` the COCG solver
+    requires, within ``atol + rtol * max|A|``."""
     check_square(a, name)
-    if not np.allclose(a, a.T, atol=atol):
-        dev = float(np.abs(a - a.T).max())
-        raise ValueError(f"{name} is not complex symmetric (max deviation {dev:.3e})")
+    tol = _symmetry_tolerance(a, atol, rtol)
+    dev = float(np.abs(a - a.T).max()) if a.size else 0.0
+    if not dev <= tol:
+        raise ValueError(
+            f"{name} is not complex symmetric "
+            f"(max deviation {dev:.3e} > tolerance {tol:.3e})"
+        )
 
 
-def check_positive_definite(a: np.ndarray, name: str = "matrix") -> None:
+def check_positive_definite(a: np.ndarray, name: str = "matrix", atol: float = 1e-10,
+                            rtol: float = 1e-12) -> None:
     """Check symmetric positive definiteness via Cholesky."""
-    check_symmetric(a, name)
+    check_symmetric(a, name, atol=atol, rtol=rtol)
     try:
         np.linalg.cholesky(a)
     except np.linalg.LinAlgError as err:

@@ -1,0 +1,379 @@
+"""Differential self-verification harness (``python -m repro.verify``).
+
+Runs the full Krylov RPA pipeline on a tiny dense-verifiable system across
+the configuration matrix — every backend (serial, simulated-MPI,
+process-pool) crossed with recycling, preconditioning and resilience — and
+cross-checks each configuration's energy against the dense Adler-Wiser
+oracle (``compute_rpa_energy_direct`` truncated to the same ``n_eig``) to
+a pinned tolerance. Every run executes under an installed
+:class:`repro.verify.Verifier`, so the runtime invariant layer is
+exercised on every code path at the same time.
+
+The harness also validates the *checker*: it injects one deliberate fault
+per invariant class — an asymmetric Sternheimer operator, a solver that
+lies about convergence, and a recycler whose rotation is corrupted — and
+asserts that the corresponding ``verify_*`` failure counter fires. A
+verification layer that cannot catch a planted bug is worse than none.
+
+The report is machine-readable JSON; exit status is nonzero when any
+configuration misses the oracle, any invariant check fails on a clean
+run, or any planted fault goes undetected.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+
+import numpy as np
+
+from repro.config import ResilienceConfig, RPAConfig
+from repro.core.direct_rpa import compute_rpa_energy_direct
+from repro.core.rpa_energy import compute_rpa_energy
+from repro.core.sternheimer import Chi0Operator
+from repro.dft import GaussianPseudopotential, run_scf
+from repro.dft.atoms import Crystal
+from repro.grid import CoulombOperator
+from repro.obs import Tracer, use_tracer
+from repro.solvers.recycle import SolveRecycler
+from repro.solvers.stats import SolveResult
+from repro.verify.invariants import Verifier, use_verifier
+
+#: Pinned agreement between every iterative configuration and the dense
+#: oracle: |E_iter - E_direct| <= PINNED_RTOL * |E_direct| + PINNED_ATOL.
+#: Calibrated against the harness tolerances below (Sternheimer 1e-10,
+#: Eq. 7 at 1e-8, degree-3 filter); the observed error is ~1e-10, three
+#: orders of magnitude under the pin.
+PINNED_RTOL = 5e-7
+PINNED_ATOL = 1e-9
+
+#: Shared tiny-grid configuration: every run must resolve the same
+#: ``n_eig`` most-negative eigenvalues the truncated oracle sums over.
+#: n_eig = 12 with a degree-3 filter is the sweet spot on this spectrum:
+#: the 12/13 eigenvalue gap is wide at every quadrature point, so the
+#: filtered iteration locks onto exactly the oracle's truncated set (larger
+#: blocks hit the near-degenerate tail, where Eq. 7 convergence no longer
+#: implies the *lowest* invariant subspace was found).
+HARNESS_N_EIG = 12
+HARNESS_N_QUAD = 4
+HARNESS_TOL_STERNHEIMER = 1e-10
+HARNESS_TOL_SUBSPACE = 1e-8
+HARNESS_SEED = 7
+
+#: The full configuration matrix: backend x recycling x preconditioner x
+#: resilience (24 runs). ``--quick`` keeps one covering subset per backend.
+BACKENDS = ("serial", "mpi", "process")
+
+
+def build_tiny_system():
+    """The dense-verifiable 4-electron model on a 6^3 grid (n_d = 216)."""
+    crystal = Crystal(
+        ["X", "X"],
+        np.array([[1.0, 1.0, 1.0], [3.0, 3.0, 3.0]]),
+        (6.0, 6.0, 6.0),
+        label="verify-tiny",
+    )
+    grid = crystal.make_grid(1.0)
+    pseudos = {"X": GaussianPseudopotential("X", z_ion=2.0, r_core=0.9)}
+    dft = run_scf(crystal, grid, radius=2, tol=1e-8, max_iterations=80,
+                  gaussian_pseudos=pseudos)
+    coulomb = CoulombOperator(grid, radius=2)
+    return dft, coulomb
+
+
+def harness_config(recycling: bool, preconditioner: bool,
+                   resilience: bool) -> RPAConfig:
+    """One cell of the matrix, at oracle-grade tolerances."""
+    return RPAConfig(
+        n_eig=HARNESS_N_EIG,
+        n_quadrature=HARNESS_N_QUAD,
+        tol_subspace=HARNESS_TOL_SUBSPACE,
+        tol_sternheimer=HARNESS_TOL_STERNHEIMER,
+        filter_degree=3,
+        max_filter_iterations=80,
+        max_cocg_iterations=2000,
+        use_recycling=recycling,
+        use_preconditioner=preconditioner,
+        resilience=ResilienceConfig() if resilience else None,
+        seed=HARNESS_SEED,
+    )
+
+
+def configuration_matrix(quick: bool = False):
+    """``(backend, recycling, preconditioner, resilience)`` tuples to run."""
+    if quick:
+        return [
+            ("serial", False, False, False),
+            ("serial", True, True, True),
+            ("mpi", False, False, False),
+            ("mpi", True, False, True),
+            ("process", False, False, False),
+            ("process", True, True, False),
+        ]
+    return [
+        (backend, recycling, precond, resilience)
+        for backend in BACKENDS
+        for recycling in (False, True)
+        for precond in (False, True)
+        for resilience in (False, True)
+    ]
+
+
+def run_one(dft, coulomb, backend: str, recycling: bool, preconditioner: bool,
+            resilience: bool, level: str = "cheap") -> dict:
+    """Run one configuration under a fresh verifier; return its record."""
+    config = harness_config(recycling, preconditioner, resilience)
+    verifier = Verifier(level=level)
+    t0 = time.perf_counter()
+    with use_verifier(verifier):
+        if backend == "serial":
+            result = compute_rpa_energy(dft, config, coulomb=coulomb)
+            energy, converged = result.energy, result.converged
+            n_matvec = result.stats.n_matvec
+        elif backend == "mpi":
+            from repro.parallel import compute_rpa_energy_parallel
+
+            par = compute_rpa_energy_parallel(dft, config, n_ranks=2,
+                                              coulomb=coulomb)
+            energy, converged = par.energy, par.converged
+            n_matvec = par.stats.n_matvec
+        elif backend == "process":
+            from repro.parallel.process_executor import ProcessChi0Operator
+            from repro.core.rpa_energy import _escalation_from
+
+            with ProcessChi0Operator(
+                dft.hamiltonian, dft.occupied_orbitals, dft.occupied_energies,
+                coulomb,
+                tol=config.tol_sternheimer,
+                max_iterations=config.max_cocg_iterations,
+                escalation=_escalation_from(config),
+                use_preconditioner=config.use_preconditioner,
+                recycler=(SolveRecycler(width=config.n_eig)
+                          if config.use_recycling else None),
+                n_workers=2,
+            ) as chi0op:
+                result = compute_rpa_energy(dft, config, coulomb=coulomb,
+                                            chi0_operator=chi0op)
+            energy, converged = result.energy, result.converged
+            n_matvec = result.stats.n_matvec
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+    return {
+        "backend": backend,
+        "recycling": recycling,
+        "preconditioner": preconditioner,
+        "resilience": resilience,
+        "energy": float(energy),
+        "converged": bool(converged),
+        "n_matvec": int(n_matvec),
+        "elapsed_seconds": time.perf_counter() - t0,
+        "verify": verifier.summary(),
+    }
+
+
+# -- fault injection: prove the checks can catch a planted bug -----------------
+
+
+class _AsymmetricHamiltonian:
+    """Hamiltonian proxy whose shifted operator is *not* complex symmetric.
+
+    Adds ``magnitude * roll(x)`` to every application — the circulant shift
+    is orthogonal but not symmetric, so ``<u, Av> != <v, Au>`` by O(magnitude).
+    Models a discretization bug (e.g. a one-sided stencil) that COCG's
+    short recurrences silently mis-solve.
+    """
+
+    def __init__(self, h, magnitude: float = 1e-2) -> None:
+        self._h = h
+        self._magnitude = magnitude
+
+    def __getattr__(self, name):
+        return getattr(self._h, name)
+
+    def shifted(self, lam: float, omega: float):
+        base = self._h.shifted(lam, omega)
+        mag = self._magnitude
+
+        def apply(x):
+            return base(x) + mag * np.roll(x, 1, axis=0)
+
+        return apply
+
+
+def _lying_solver(apply_a, b, x0=None, tol=1e-10, max_iterations=100,
+                  n=None, **kwargs) -> SolveResult:
+    """A solver that claims convergence without doing the work.
+
+    Returns the zero iterate (true relative residual exactly 1) while
+    reporting ``converged=True`` at half the requested tolerance — the
+    shape of a recurrence whose residual estimate drifted from the truth.
+    """
+    B = b if b.ndim == 2 else b[:, None]
+    return SolveResult(
+        solution=np.zeros_like(B, dtype=complex),
+        converged=True,
+        iterations=1,
+        residual_norm=tol / 2.0,
+        residual_history=[1.0, tol / 2.0],
+        n_matvec=B.shape[1],
+        block_size=B.shape[1],
+    )
+
+
+class _BrokenRotationRecycler(SolveRecycler):
+    """Recycler whose rotation update is corrupted by a wrong scale.
+
+    ``Y Q`` is the exact rotated solution; caching ``1.7 * Y Q`` instead
+    breaks the linearity the recycler's exact-hit guarantee rests on, the
+    way a transposed or stale ``Q`` would.
+    """
+
+    def rotate(self, q: np.ndarray) -> None:
+        super().rotate(np.asarray(q) * 1.7)
+
+
+def _inject_asymmetric_operator(dft, coulomb, level: str) -> dict:
+    verifier = Verifier(level=level)
+    tracer = Tracer()
+    with use_tracer(tracer), use_verifier(verifier):
+        op = Chi0Operator(
+            _AsymmetricHamiltonian(dft.hamiltonian),
+            dft.occupied_orbitals, dft.occupied_energies, coulomb,
+            tol=1e-6, max_iterations=200,
+        )
+        rng = np.random.default_rng(HARNESS_SEED)
+        op.apply_chi0(rng.standard_normal((dft.grid.n_points, 2)), omega=1.0)
+    return _fault_record("asymmetric_operator", "operator_symmetry",
+                         verifier, tracer)
+
+
+def _inject_fake_converged_solve(dft, coulomb, level: str) -> dict:
+    verifier = Verifier(level=level)
+    tracer = Tracer()
+    with use_tracer(tracer), use_verifier(verifier):
+        op = Chi0Operator(
+            dft.hamiltonian, dft.occupied_orbitals, dft.occupied_energies,
+            coulomb, tol=1e-8, solver=_lying_solver,
+            dynamic_block_size=False, fixed_block_size=4,
+            use_galerkin_guess=False,
+        )
+        rng = np.random.default_rng(HARNESS_SEED)
+        op.apply_chi0(rng.standard_normal((dft.grid.n_points, 4)), omega=1.0)
+    return _fault_record("fake_converged_solve", "solve_residual",
+                         verifier, tracer)
+
+
+def _inject_broken_rotation(dft, coulomb, level: str) -> dict:
+    verifier = Verifier(level=level)
+    tracer = Tracer()
+    config = harness_config(recycling=True, preconditioner=False,
+                            resilience=False)
+    with use_tracer(tracer), use_verifier(verifier):
+        op = Chi0Operator(
+            dft.hamiltonian, dft.occupied_orbitals, dft.occupied_energies,
+            coulomb, tol=config.tol_sternheimer,
+            max_iterations=config.max_cocg_iterations,
+            recycler=_BrokenRotationRecycler(width=config.n_eig),
+        )
+        compute_rpa_energy(dft, config, coulomb=coulomb, chi0_operator=op)
+    return _fault_record("broken_rotation", "recycled_guess",
+                         verifier, tracer)
+
+
+def _fault_record(fault: str, check: str, verifier: Verifier,
+                  tracer: Tracer) -> dict:
+    counter = f"verify_{check}_failures"
+    count = int(tracer.counters.get(counter, 0))
+    caught = count > 0 and any(f.check == check for f in verifier.failures)
+    return {
+        "fault": fault,
+        "expected_check": check,
+        "caught": caught,
+        "counter": counter,
+        "counter_value": count,
+        "n_failures": len(verifier.failures),
+        "first_failure": (str(verifier.failures[0]) if verifier.failures else None),
+    }
+
+
+FAULT_INJECTIONS = (
+    _inject_asymmetric_operator,
+    _inject_fake_converged_solve,
+    _inject_broken_rotation,
+)
+
+
+# -- the harness entry point ----------------------------------------------------
+
+
+def run_harness(level: str = "cheap", quick: bool = False,
+                include_faults: bool = True, log=None) -> dict:
+    """Run the differential matrix (and fault injections); return the report."""
+
+    def say(msg: str) -> None:
+        if log is not None:
+            log(msg)
+
+    t_start = time.perf_counter()
+    say("building tiny system (6^3 grid, 2 orbitals) ...")
+    dft, coulomb = build_tiny_system()
+    say(f"SCF converged={dft.converged} in {dft.n_iterations} iterations")
+
+    say("dense Adler-Wiser oracle ...")
+    oracle = compute_rpa_energy_direct(
+        dft, n_quadrature=HARNESS_N_QUAD, coulomb=coulomb, n_eig=HARNESS_N_EIG
+    )
+    tolerance = PINNED_RTOL * abs(oracle.energy) + PINNED_ATOL
+
+    configs = []
+    all_ok = True
+    for backend, recycling, precond, resilience in configuration_matrix(quick):
+        record = run_one(dft, coulomb, backend, recycling, precond,
+                         resilience, level=level)
+        record["oracle_energy"] = float(oracle.energy)
+        record["abs_error"] = abs(record["energy"] - oracle.energy)
+        record["tolerance"] = tolerance
+        record["ok"] = (
+            record["converged"]
+            and record["abs_error"] <= tolerance
+            and not record["verify"]["failures"]
+        )
+        all_ok = all_ok and record["ok"]
+        say(f"{backend:8s} recycle={int(recycling)} precond={int(precond)} "
+            f"resilience={int(resilience)}: E={record['energy']:+.9e} "
+            f"|dE|={record['abs_error']:.2e} "
+            f"checks={record['verify']['checks_run']} "
+            f"{'ok' if record['ok'] else 'FAIL'}")
+        configs.append(record)
+
+    faults = []
+    if include_faults:
+        for inject in FAULT_INJECTIONS:
+            rec = inject(dft, coulomb, level)
+            all_ok = all_ok and rec["caught"]
+            say(f"fault {rec['fault']}: "
+                f"{'caught' if rec['caught'] else 'MISSED'} "
+                f"({rec['counter']}={rec['counter_value']})")
+            faults.append(rec)
+
+    return {
+        "harness": {
+            "level": level,
+            "quick": quick,
+            "n_eig": HARNESS_N_EIG,
+            "n_quadrature": HARNESS_N_QUAD,
+            "tol_sternheimer": HARNESS_TOL_STERNHEIMER,
+            "tol_subspace": HARNESS_TOL_SUBSPACE,
+            "pinned_rtol": PINNED_RTOL,
+            "pinned_atol": PINNED_ATOL,
+            "python": platform.python_version(),
+            "elapsed_seconds": time.perf_counter() - t_start,
+        },
+        "oracle": {
+            "energy": float(oracle.energy),
+            "per_point": [float(e) for e in oracle.per_point_energy],
+        },
+        "configs": configs,
+        "fault_injection": faults,
+        "ok": all_ok,
+    }

@@ -1,0 +1,529 @@
+"""Runtime invariant checks for the RPA pipeline (debug mode).
+
+A :class:`Verifier` is installed process-wide like the tracer
+(:func:`use_verifier` / :func:`get_verifier`); instrumented call sites do
+
+    vf = get_verifier()
+    if vf.enabled:
+        vf.check_solve_residual(apply_a, B, Y, tol, results, orbital=j)
+
+so the disabled path costs one module-level lookup plus an attribute check
+— the same zero-cost contract the observability layer established (see
+``benchmarks/bench_verify_overhead.py``). Checks never mutate pipeline
+state and draw randomness from a private generator, so enabling them does
+not perturb the computation: a verified run produces bit-identical results.
+
+Levels
+------
+``cheap``
+    O(1) or single-column work per event: an unconjugated-symmetry probe
+    per *distinct* shifted Sternheimer operator (two extra column matvecs,
+    cached by ``(orbital, omega)``), a one-column true-residual spot check
+    at each block-solve exit, Ritz-value/Eq. 7 sanity, quadrature weight
+    positivity + Table II regression, rotated-recycle-guess residuals, and
+    the Eq. 1 <-> dielectric trace identity at every quadrature point.
+``full``
+    Everything in ``cheap``, plus: the symmetry probe on *every* solve, a
+    full-block true-residual recomputation at every solver exit (one extra
+    block matvec per solve) with claimed-vs-true consistency, Rayleigh-Ritz
+    basis orthonormality ``||V^H V - I||`` after every rotation, and a
+    conditioning check of each rotation matrix.
+
+Failures are appended to :attr:`Verifier.failures` and mirrored into the
+active tracer as ``verify_failures`` / ``verify_<check>_failures`` counters
+plus a ``verify_failure`` instant event; ``strict=True`` raises
+:class:`VerificationError` at the point of violation instead.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.tracer import get_tracer
+
+#: Recognised values for ``RPAConfig.verify_level`` / CLI ``--verify``.
+VERIFY_LEVELS = ("off", "cheap", "full")
+
+
+class VerificationError(RuntimeError):
+    """An invariant check failed while the verifier ran in strict mode."""
+
+
+@dataclass
+class VerifyFailure:
+    """One recorded invariant violation."""
+
+    check: str
+    message: str
+    context: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        ctx = ", ".join(f"{k}={v}" for k, v in self.context.items())
+        return f"[{self.check}] {self.message}" + (f" ({ctx})" if ctx else "")
+
+
+class Verifier:
+    """Collects invariant-check outcomes for one run.
+
+    Parameters
+    ----------
+    level:
+        ``"cheap"`` or ``"full"`` (``"off"`` is represented by
+        :data:`NULL_VERIFIER`, never by a ``Verifier`` instance).
+    strict:
+        Raise :class:`VerificationError` at the first failure instead of
+        recording and continuing.
+    slack:
+        Multiplicative slack applied to solver-tolerance comparisons
+        (residuals are recomputed in finite precision; a converged claim is
+        only flagged when the true residual exceeds ``slack * tol``).
+    seed:
+        Seed of the verifier's private random generator (symmetry probes).
+        Independent of the pipeline's RNG by construction.
+    """
+
+    enabled = True
+
+    def __init__(self, level: str = "cheap", strict: bool = False,
+                 slack: float = 10.0, seed: int = 20240) -> None:
+        if level not in ("cheap", "full"):
+            raise ValueError(
+                f"level must be 'cheap' or 'full', got {level!r} "
+                f"(use NULL_VERIFIER / verify_level='off' to disable)"
+            )
+        if slack < 1.0:
+            raise ValueError("slack must be >= 1")
+        self.level = level
+        self.full = level == "full"
+        self.strict = bool(strict)
+        self.slack = float(slack)
+        self.failures: list[VerifyFailure] = []
+        self.checks_run = 0
+        self._rng = np.random.default_rng(seed)
+        self._symmetry_seen: set = set()
+        self._quadrature_seen: set = set()
+        # Shadow projections of full-width recycler entries: (orbital, omega)
+        # -> z @ Y, updated with the *true* Rayleigh-Ritz Q at each rotation
+        # and compared against the served guess on an exact hit.
+        self._recycle_probes: dict = {}
+        self._recycle_shadow: dict = {}
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> dict:
+        """Machine-readable outcome (embedded in harness reports)."""
+        return {
+            "level": self.level,
+            "checks_run": self.checks_run,
+            "failures": [
+                {"check": f.check, "message": f.message, "context": f.context}
+                for f in self.failures
+            ],
+        }
+
+    def _passed(self, check: str) -> bool:
+        self.checks_run += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.incr("verify_checks")
+            tracer.incr(f"verify_{check}_checks")
+        return True
+
+    def _failed(self, check: str, message: str, **context) -> bool:
+        self.checks_run += 1
+        ctx = {k: (float(v) if isinstance(v, (np.floating, np.integer)) else v)
+               for k, v in context.items()}
+        self.failures.append(VerifyFailure(check, message, ctx))
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.incr("verify_checks")
+            tracer.incr(f"verify_{check}_checks")
+            tracer.incr("verify_failures")
+            tracer.incr(f"verify_{check}_failures")
+            tracer.event("verify_failure", check=check, message=message, **ctx)
+        if self.strict:
+            raise VerificationError(f"[{check}] {message} (context: {ctx})")
+        return False
+
+    # -- operator structure ------------------------------------------------------
+
+    def check_operator_symmetry(self, apply_a, n: int, key=None,
+                                rtol: float = 1e-8, **context) -> bool:
+        """Probe complex symmetry ``<u, A v> = <v, A u>`` (unconjugated).
+
+        Two random complex probe vectors verify the identity every COCG
+        recurrence rests on: for ``A = A^T`` the bilinear form is symmetric,
+        so ``u^T (A v) == v^T (A u)``. At the cheap level each distinct
+        ``key`` (the ``(orbital, omega)`` shift) is probed once; at the
+        full level every call probes.
+        """
+        if key is not None and not self.full:
+            if key in self._symmetry_seen:
+                return True
+            self._symmetry_seen.add(key)
+        u = self._rng.standard_normal(n) + 1j * self._rng.standard_normal(n)
+        v = self._rng.standard_normal(n) + 1j * self._rng.standard_normal(n)
+        au = np.asarray(apply_a(u))
+        av = np.asarray(apply_a(v))
+        left = complex(u @ av)
+        right = complex(v @ au)
+        scale = float(np.linalg.norm(u) * np.linalg.norm(av)
+                      + np.linalg.norm(v) * np.linalg.norm(au))
+        if not (np.isfinite(left) and np.isfinite(right)):
+            return self._failed("operator_symmetry",
+                                "operator produced non-finite probe products",
+                                **context)
+        if abs(left - right) > rtol * max(scale, 1e-300):
+            return self._failed(
+                "operator_symmetry",
+                f"<u, Av> != <v, Au>: |{left:.6e} - {right:.6e}| "
+                f"= {abs(left - right):.3e} > {rtol:g} * {scale:.3e}",
+                deviation=abs(left - right), scale=scale, **context)
+        return self._passed("operator_symmetry")
+
+    # -- solver exits -------------------------------------------------------------
+
+    def check_solve_residual(self, apply_a, b: np.ndarray, y: np.ndarray,
+                             tol: float, claimed_residual: float,
+                             claimed_converged: bool, **context) -> bool:
+        """Recompute the true residual of a finished solve against its claim.
+
+        Catches *fake convergence*: a solver (or escalation stage, or a
+        recurrence whose residual estimate drifted from the true residual)
+        claiming ``converged`` while ``||B - A Y||_F > slack * tol * ||B||_F``.
+        At the cheap level one column is spot-checked (its residual is
+        bounded by the block Frobenius criterion, so the check is rigorous);
+        at the full level the whole block is recomputed and the claimed
+        residual itself is validated.
+        """
+        B = b if b.ndim == 2 else b[:, None]
+        Y = y if y.ndim == 2 else y[:, None]
+        b_norm = float(np.linalg.norm(B))
+        if b_norm == 0.0:
+            return True
+        if not np.all(np.isfinite(Y)):
+            return self._failed("solve_residual",
+                                "solution contains non-finite entries", **context)
+        if self.full:
+            true_res = float(np.linalg.norm(B - apply_a(Y))) / b_norm
+            if claimed_converged and true_res > self.slack * tol:
+                return self._failed(
+                    "solve_residual",
+                    f"solve claimed converged (tol {tol:g}) but true relative "
+                    f"residual is {true_res:.3e}",
+                    true_residual=true_res, tol=tol, **context)
+            # The claimed residual must not understate the truth by more
+            # than the slack factor (a converged claim was already checked
+            # against tol; this guards the *reported* number).
+            if np.isfinite(claimed_residual) and true_res > self.slack * max(
+                claimed_residual, tol * 1e-3
+            ):
+                return self._failed(
+                    "solve_residual",
+                    f"claimed relative residual {claimed_residual:.3e} "
+                    f"understates true residual {true_res:.3e}",
+                    true_residual=true_res, claimed=claimed_residual, **context)
+            return self._passed("solve_residual")
+        # Cheap: one column. ||R[:, c]|| <= ||R||_F <= tol * ||B||_F for a
+        # truthful converged block solve, so comparing the column residual
+        # against slack * tol * ||B||_F is rigorous (never a false alarm).
+        if not claimed_converged:
+            return True
+        col = int(self._rng.integers(B.shape[1]))
+        r_col = B[:, col] - np.asarray(apply_a(Y[:, col]))
+        col_res = float(np.linalg.norm(r_col)) / b_norm
+        if col_res > self.slack * tol:
+            return self._failed(
+                "solve_residual",
+                f"converged claim (tol {tol:g}) violated by column {col}: "
+                f"relative residual {col_res:.3e}",
+                true_residual=col_res, tol=tol, column=col, **context)
+        return self._passed("solve_residual")
+
+    # -- subspace iteration --------------------------------------------------------
+
+    def check_ritz_values(self, vals: np.ndarray, err: float, **context) -> bool:
+        """Sanity of one Rayleigh-Ritz outcome: finite ascending Ritz values
+        of a negative-semidefinite operator, and a finite non-negative
+        Eq. 7 error functional."""
+        vals = np.asarray(vals)
+        if not np.all(np.isfinite(vals)):
+            return self._failed("ritz", "non-finite Ritz values", **context)
+        if np.any(np.diff(vals) < -1e-12 * max(float(np.abs(vals).max()), 1.0)):
+            return self._failed("ritz", "Ritz values are not ascending", **context)
+        if not (np.isfinite(err) and err >= 0.0):
+            return self._failed("ritz", f"Eq. 7 error is invalid: {err}",
+                                error=err, **context)
+        return self._passed("ritz")
+
+    def check_basis_orthonormal(self, v: np.ndarray, rtol: float = 1e-6,
+                                **context) -> bool:
+        """Full-level check: the rotated Ritz basis is orthonormal.
+
+        After the generalized Rayleigh-Ritz ``H_s Q = M_s Q D`` with
+        ``Q^H M_s Q = I``, the rotated block ``V Q`` satisfies
+        ``(V Q)^H (V Q) = I`` up to the conditioning of ``M_s``. A gross
+        violation means the filtered subspace collapsed or the rotation is
+        wrong; the Eq. 7 bound is meaningless in that case.
+        """
+        gram = v.conj().T @ v
+        dev = float(np.abs(gram - np.eye(gram.shape[0])).max())
+        scale = max(float(np.abs(gram).max()), 1.0)
+        if dev > rtol * scale:
+            return self._failed(
+                "basis_orthonormal",
+                f"Rayleigh-Ritz basis deviates from orthonormality by {dev:.3e}",
+                deviation=dev, **context)
+        return self._passed("basis_orthonormal")
+
+    def check_rotation(self, q: np.ndarray, max_condition: float = 1e8,
+                       **context) -> bool:
+        """The Rayleigh-Ritz rotation fed to rotation-covariant caches must
+        be finite and well-conditioned (cheap: finiteness; full: condition
+        number — a nearly singular ``Q`` silently destroys cached guesses)."""
+        q = np.asarray(q)
+        if not np.all(np.isfinite(q)):
+            return self._failed("rotation", "rotation matrix has non-finite "
+                                "entries", **context)
+        if self.full and q.shape[0] == q.shape[1]:
+            cond = float(np.linalg.cond(q))
+            if not np.isfinite(cond) or cond > max_condition:
+                return self._failed(
+                    "rotation",
+                    f"rotation matrix condition number {cond:.3e} exceeds "
+                    f"{max_condition:g}",
+                    condition=cond, **context)
+        return self._passed("rotation")
+
+    def check_recycled_guess(self, residual0: float, tol: float,
+                             **context) -> bool:
+        """Linearity of rotated recycle guesses.
+
+        An exact ``(orbital, omega)`` hit recurs across *filter* iterations,
+        where the right-hand side changed by a polynomial application of the
+        operator — not merely the Rayleigh-Ritz rotation — so the rotated
+        guess is a warm start, not an exact solution: O(1) relative residuals
+        are legitimate. What linearity *does* guarantee is that a correctly
+        rotated converged entry never does worse than the trivial zero guess
+        (relative residual 1). A broken rotation (wrong ``Q``, scaled ``Q``,
+        corrupted cache) compounds multiplicatively across rotations, so its
+        guesses blow past any O(1) bound within a few filter iterations —
+        hence a fixed threshold modestly above the cold-start residual.
+        """
+        threshold = 2.0
+        if not np.isfinite(residual0) or residual0 > threshold:
+            return self._failed(
+                "recycled_guess",
+                f"recycled guess for an exact (orbital, omega) hit has "
+                f"relative residual {residual0:.3e} (> {threshold:g}): "
+                f"rotation linearity is broken",
+                residual=residual0, threshold=threshold, **context)
+        return self._passed("recycled_guess")
+
+    def _recycle_probe(self, n: int) -> np.ndarray:
+        z = self._recycle_probes.get(n)
+        if z is None:
+            z = self._rng.standard_normal(n) + 1j * self._rng.standard_normal(n)
+            z /= np.linalg.norm(z)
+            self._recycle_probes[n] = z
+        return z
+
+    def note_recycle_store(self, orbital: int, omega: float,
+                           solution: np.ndarray, lo: int, width: int) -> None:
+        """Record a shadow projection ``z @ Y`` of a stored recycle block.
+
+        Only full-width stores get a shadow (a slice store — a distributed
+        rank's columns — cannot be rotated coherently on its own, so the
+        stale shadow is dropped instead).
+        """
+        key = (int(orbital), float(omega))
+        solution = np.asarray(solution)
+        if lo != 0 or solution.ndim != 2 or solution.shape[1] != width:
+            self._recycle_shadow.pop(key, None)
+            return
+        z = self._recycle_probe(solution.shape[0])
+        self._recycle_shadow[key] = z @ solution
+
+    def note_recycler_rotation(self, q: np.ndarray) -> None:
+        """Advance every shadow by the *true* Rayleigh-Ritz rotation.
+
+        Called from the subspace iteration with the ``Q`` it hands to the
+        ``on_rotation`` hook — independently of whatever the recycler
+        actually does with it, which is exactly what makes the comparison
+        in :meth:`check_recycled_shadow` meaningful.
+        """
+        q = np.asarray(q)
+        if q.ndim != 2:
+            return
+        self._recycle_shadow = {
+            key: s @ q
+            for key, s in self._recycle_shadow.items()
+            if s.shape[0] == q.shape[0]
+        }
+
+    def check_recycled_shadow(self, orbital: int, omega: float,
+                              guess: np.ndarray, lo: int, width: int,
+                              rtol: float = 1e-6, **context) -> bool:
+        """Exact-hit guesses must match their rotation-tracked shadow.
+
+        The shadow ``z @ Y`` followed every true ``Q`` since the block was
+        stored; by linearity the served guess must project to the same
+        vector. A recycler that rotated by a wrong, scaled, or stale ``Q``
+        — or whose cache was corrupted in flight — disagrees by O(1)
+        regardless of how plausible the guess looks as a warm start, which
+        per-residual thresholds cannot detect.
+        """
+        key = (int(orbital), float(omega))
+        expected = self._recycle_shadow.get(key)
+        guess = np.asarray(guess)
+        if (expected is None or lo != 0 or guess.ndim != 2
+                or guess.shape[1] != width
+                or expected.shape[0] != width):
+            return True  # no full-width shadow on record: nothing to verify
+        actual = self._recycle_probe(guess.shape[0]) @ guess
+        scale = max(float(np.abs(expected).max()),
+                    float(np.abs(actual).max()), 1e-300)
+        dev = float(np.abs(actual - expected).max())
+        if not dev <= rtol * scale:
+            return self._failed(
+                "recycled_guess",
+                f"recycled exact-hit guess disagrees with its "
+                f"rotation-tracked shadow projection by {dev:.3e} "
+                f"(> {rtol:g} * {scale:.3e}): the cache was not rotated "
+                f"by the true Rayleigh-Ritz Q",
+                deviation=dev, scale=scale, orbital=int(orbital),
+                omega=float(omega), **context)
+        return self._passed("recycled_guess")
+
+    # -- quadrature and energy identities --------------------------------------------
+
+    def check_quadrature(self, quad, **context) -> bool:
+        """Transformed Gauss-Legendre sanity: positive weights, positive
+        descending frequencies; the 8-point rule must regress to Table II."""
+        key = (len(quad), float(quad.points[0]), float(quad.weights[0]))
+        if key in self._quadrature_seen:
+            return True
+        self._quadrature_seen.add(key)
+        points = np.asarray(quad.points)
+        weights = np.asarray(quad.weights)
+        if np.any(weights <= 0) or not np.all(np.isfinite(weights)):
+            return self._failed("quadrature", "non-positive quadrature weight",
+                                **context)
+        if np.any(points <= 0) or np.any(np.diff(points) >= 0):
+            return self._failed("quadrature",
+                                "frequencies are not positive descending",
+                                **context)
+        if len(quad) == 8:
+            from repro.core.quadrature import PAPER_TABLE_II
+
+            ref_p = np.asarray(PAPER_TABLE_II["points"])
+            ref_w = np.asarray(PAPER_TABLE_II["weights"])
+            # Table II prints 3-4 significant digits; allow rounding slack.
+            if (np.abs(points - ref_p) > 5e-3 * np.maximum(ref_p, 1.0)).any() or (
+                np.abs(weights - ref_w) > 5e-3 * np.maximum(ref_w, 1.0)
+            ).any():
+                return self._failed(
+                    "quadrature",
+                    "8-point rule deviates from the paper's Table II", **context)
+        return self._passed("quadrature")
+
+    def check_trace_identity(self, mu: np.ndarray, energy_term: float,
+                             rtol: float = 1e-9, **context) -> bool:
+        """Eq. 1 <-> dielectric identity at one quadrature point.
+
+        The subspace route evaluates ``sum_j [ln(1 - mu_j) + mu_j]``; the
+        dielectric route evaluates ``sum_j [ln eps_j + (1 - eps_j)]`` with
+        ``eps_j = 1 - mu_j``. The two must agree to rounding — and the
+        dielectric eigenvalues must be positive for either to be defined.
+        """
+        mu = np.asarray(mu, dtype=float)
+        eps = 1.0 - mu
+        if np.any(eps <= 0):
+            return self._failed(
+                "trace_identity",
+                f"dielectric eigenvalue <= 0 (mu_max = {mu.max():.6e}): the "
+                f"RPA integrand is undefined",
+                mu_max=float(mu.max()), **context)
+        via_eps = float(np.sum(np.log(eps) + (1.0 - eps)))
+        scale = max(abs(via_eps), abs(energy_term), 1e-300)
+        if abs(via_eps - energy_term) > max(rtol * scale, 1e-12):
+            return self._failed(
+                "trace_identity",
+                f"Eq. 1 trace {energy_term:.12e} disagrees with dielectric "
+                f"route {via_eps:.12e}",
+                eigen_route=energy_term, dielectric_route=via_eps, **context)
+        return self._passed("trace_identity")
+
+
+class NullVerifier:
+    """Disabled verifier: one shared instance, every check is unreachable.
+
+    Call sites guard with ``if vf.enabled:`` so none of the check methods
+    are needed here; ``full`` exists for sites that branch on level.
+    """
+
+    enabled = False
+    full = False
+    level = "off"
+    failures: list = []  # intentionally shared and always empty
+    checks_run = 0
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+    def summary(self) -> dict:
+        return {"level": "off", "checks_run": 0, "failures": []}
+
+
+#: The process-wide disabled verifier (shared; never records anything).
+NULL_VERIFIER = NullVerifier()
+
+_ACTIVE: Verifier | NullVerifier = NULL_VERIFIER
+
+
+def get_verifier() -> Verifier | NullVerifier:
+    """The active verifier; :data:`NULL_VERIFIER` unless one was installed."""
+    return _ACTIVE
+
+
+def set_verifier(verifier: Verifier | NullVerifier | None) -> Verifier | NullVerifier:
+    """Install ``verifier`` as the active verifier (``None`` disables)."""
+    global _ACTIVE
+    _ACTIVE = verifier if verifier is not None else NULL_VERIFIER
+    return _ACTIVE
+
+
+@contextmanager
+def use_verifier(verifier: Verifier | NullVerifier | None):
+    """Scoped :func:`set_verifier`; restores the previous verifier on exit."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = verifier if verifier is not None else NULL_VERIFIER
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+def verifier_for_level(level: str, strict: bool = False) -> Verifier | NullVerifier:
+    """Build the verifier a ``verify_level`` string asks for.
+
+    ``"off"`` returns :data:`NULL_VERIFIER`; anything else a fresh
+    :class:`Verifier`. Raises on unknown levels (same contract as
+    ``RPAConfig.verify_level`` validation).
+    """
+    if level not in VERIFY_LEVELS:
+        raise ValueError(
+            f"unknown verify level {level!r} (choose from {', '.join(VERIFY_LEVELS)})"
+        )
+    if level == "off":
+        return NULL_VERIFIER
+    return Verifier(level=level, strict=strict)

@@ -64,6 +64,32 @@ class TestQuadratureAccuracy:
         with pytest.raises(ValueError):
             quad.integrate(np.zeros(5))
 
+    def test_integrate_accepts_noise_level_imaginary(self):
+        # The trace evaluations hand back complex arrays whose imaginary
+        # parts are rounding noise; those must integrate like their real
+        # parts instead of warning-and-truncating.
+        quad = transformed_gauss_legendre(4)
+        real = 1.0 / (1.0 + quad.points) ** 4
+        noisy = real + 1e-14j * real
+        assert quad.integrate(noisy) == pytest.approx(quad.integrate(real),
+                                                      rel=1e-12)
+
+    def test_integrate_rejects_significant_imaginary(self):
+        # Regression: np.asarray(values, dtype=float) used to silently
+        # discard an O(1) imaginary part with only a ComplexWarning.
+        quad = transformed_gauss_legendre(4)
+        vals = np.ones(4) + 0.5j
+        with pytest.raises(ValueError, match="imaginary"):
+            quad.integrate(vals)
+
+    def test_integrate_imag_tol_is_relative(self):
+        quad = transformed_gauss_legendre(4)
+        big = np.full(4, 1e8) + 1e-4j  # |Im|/|val| = 1e-12: noise at scale
+        assert quad.integrate(big) == pytest.approx(quad.integrate(
+            np.full(4, 1e8)))
+        with pytest.raises(ValueError):
+            quad.integrate(big, imag_tol=1e-14)
+
     def test_invalid_point_count(self):
         with pytest.raises(ValueError):
             transformed_gauss_legendre(0)

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core.rpa_energy import OmegaPointResult
-from repro.core.subspace import _eq7_error, _filter_bounds
+from repro.core.subspace import (
+    _eq7_error,
+    _filter_bounds,
+    _rayleigh_ritz,
+    filtered_subspace_iteration,
+)
 from repro.utils.timing import KernelTimers
 
 
@@ -60,6 +65,75 @@ class TestEq7Error:
         vals = np.zeros(2)
         assert _eq7_error(V, np.zeros((10, 2)), vals, KernelTimers()) == 0.0
         assert _eq7_error(V, np.ones((10, 2)), vals, KernelTimers()) == np.inf
+
+
+class TestRayleighRitzComplex:
+    """Regression: the Grams must be sesquilinear (V^H W), not bilinear.
+
+    The old ``V.T @ V`` produced a complex-*symmetric* (non-Hermitian) Gram
+    whose lower triangle ``eigh`` silently treated as Hermitian — wrong Ritz
+    values for any complex basis, invisible on the historical real path.
+    """
+
+    def _hermitian_problem(self, n=40, k=5, seed=7):
+        rng = np.random.default_rng(seed)
+        m = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+        a = 0.5 * (m + m.conj().T)
+        v = rng.standard_normal((n, k)) + 1j * rng.standard_normal((n, k))
+        return a, v
+
+    def test_complex_ritz_values_match_dense_projection(self):
+        import scipy.linalg
+
+        a, v = self._hermitian_problem()
+        vals, vq, wq, q = _rayleigh_ritz(v, a @ v, KernelTimers())
+        ref = scipy.linalg.eigh(v.conj().T @ (a @ v), v.conj().T @ v,
+                                eigvals_only=True)
+        assert np.allclose(vals, ref, rtol=1e-10, atol=1e-12)
+        # M_s-orthonormality transfers to the rotated basis: (VQ)^H (VQ) = I.
+        gram = vq.conj().T @ vq
+        assert np.abs(gram - np.eye(gram.shape[0])).max() < 1e-8
+        assert np.allclose(wq, (a @ v) @ q)
+
+    def test_complex_invariant_subspace_is_exact(self):
+        # Feed an exact invariant subspace of a complex Hermitian operator:
+        # the Ritz values must reproduce its eigenvalues to rounding, which
+        # the unconjugated bilinear Gram got wrong.
+        import scipy.linalg
+
+        a, _ = self._hermitian_problem(seed=11)
+        w, vecs = scipy.linalg.eigh(a)
+        v = vecs[:, :4] @ np.linalg.qr(
+            np.random.default_rng(0).standard_normal((4, 4))
+        )[0]  # mix, still spans the lowest-4 eigenspace
+        vals, _, _, _ = _rayleigh_ritz(v.astype(complex), a @ v, KernelTimers())
+        assert np.allclose(vals, w[:4], rtol=1e-10, atol=1e-11)
+
+    def test_real_path_unchanged(self):
+        # conj() is the identity on floats: the historical real-path Grams
+        # are bit-for-bit what V.T @ W gave.
+        rng = np.random.default_rng(3)
+        v = rng.standard_normal((30, 4))
+        w = rng.standard_normal((30, 4))
+        vals, vq, _, q = _rayleigh_ritz(v.copy(), w.copy(), KernelTimers())
+        assert not np.iscomplexobj(vals) or np.all(vals.imag == 0)
+        assert vq.dtype == np.float64 or np.all(np.asarray(vq).imag == 0)
+
+    def test_filtered_iteration_accepts_complex_block(self):
+        import scipy.linalg
+
+        rng = np.random.default_rng(5)
+        n, k = 50, 4
+        m = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+        h = 0.5 * (m + m.conj().T)
+        # Negative-semidefinite operator, as the nu-chi0 iteration assumes.
+        a = -(h @ h.conj().T) / n - 0.1 * np.eye(n)
+        v0 = rng.standard_normal((n, k)) + 1j * rng.standard_normal((n, k))
+        res = filtered_subspace_iteration(lambda x: a @ x, v0, tol=1e-8,
+                                          max_iterations=60)
+        ref = scipy.linalg.eigh(a, eigvals_only=True)[:k]
+        assert res.converged
+        assert np.allclose(np.sort(res.eigenvalues), ref, rtol=1e-6, atol=1e-8)
 
 
 class TestOmegaPointResult:

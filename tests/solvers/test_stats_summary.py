@@ -2,7 +2,10 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.resilience.policy import EscalatedSolveResult, SolveAttempt
 from repro.solvers import SolveResult, SolveSummary
 
 
@@ -41,9 +44,73 @@ class TestOf:
         s = SolveSummary.of([])
         assert s.n_solves == 0 and not s.converged
 
-    def test_summarize_alias(self):
-        s = SolveResult.summarize([_result()])
+    def test_single_entry_point(self):
+        # The one-off `SolveResult.summarize` alias was removed; the class
+        # method is the only aggregation entry point.
+        assert not hasattr(SolveResult, "summarize")
+        s = SolveSummary.of([_result()])
         assert isinstance(s, SolveSummary) and s.n_solves == 1
+
+
+# -- hypothesis: of(a + b) == of(a).merge(of(b)) on every tracked field ------
+
+_STAGES = ("block_cocg", "block_cocg_bf", "gmres")
+
+
+@st.composite
+def _solve_results(draw):
+    """A plain SolveResult or an EscalatedSolveResult with attempt history."""
+    iterations = draw(st.integers(min_value=0, max_value=50))
+    block_size = draw(st.integers(min_value=1, max_value=8))
+    converged = draw(st.booleans())
+    breakdown = draw(st.booleans())
+    n_matvec = draw(st.integers(min_value=0, max_value=400))
+    escalated_kind = draw(st.booleans())
+    if not escalated_kind:
+        return SolveResult(
+            solution=np.zeros((2, block_size), dtype=complex),
+            converged=converged,
+            iterations=iterations,
+            residual_norm=1e-9 if converged else 0.5,
+            n_matvec=n_matvec,
+            block_size=block_size,
+            breakdown=breakdown,
+        )
+    stages = draw(st.lists(st.sampled_from(_STAGES), min_size=1, max_size=4))
+    attempts = [
+        SolveAttempt(stage=s, iterations=iterations, n_matvec=n_matvec,
+                     residual_norm=0.1, converged=(i == len(stages) - 1),
+                     breakdown=False)
+        for i, s in enumerate(stages)
+    ]
+    return EscalatedSolveResult(
+        solution=np.zeros((2, block_size), dtype=complex),
+        converged=converged,
+        iterations=iterations,
+        residual_norm=1e-9 if converged else 0.5,
+        n_matvec=n_matvec,
+        block_size=block_size,
+        breakdown=breakdown,
+        attempts=attempts,
+        stage=draw(st.sampled_from(("",) + _STAGES)),
+        escalated=len(stages) > 1,
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=st.lists(_solve_results(), max_size=6),
+       b=st.lists(_solve_results(), max_size=6))
+def test_of_concat_equals_merge_of_parts(a, b):
+    # Aggregating the concatenation must equal merging the two partial
+    # summaries — on *every* tracked field, including the resilience ones
+    # (n_retries, n_escalations, stage_counts) fed by EscalatedSolveResult
+    # attempt histories. This is the property the distributed drivers rely
+    # on when they fold per-rank summaries into one.
+    flat = SolveSummary.of(a + b)
+    merged = SolveSummary.of(a).merge(SolveSummary.of(b))
+    assert merged == flat
+    # merge() must also be neutral w.r.t. an empty right-hand side.
+    assert SolveSummary.of(a).merge(SolveSummary()) == SolveSummary.of(a)
 
 
 class TestMerge:

@@ -112,3 +112,38 @@ class TestValidation:
         check_positive_definite(2 * np.eye(3))
         with pytest.raises(ValueError):
             check_positive_definite(-np.eye(3))
+
+    def test_symmetry_tolerance_scales_with_magnitude(self):
+        # Regression: a fixed atol=1e-10 spuriously rejected large-scale
+        # operators whose symmetrization rounding is ~ max|A| * eps. The
+        # budget is atol + rtol * max|A|.
+        rng = np.random.default_rng(0)
+        m = rng.standard_normal((40, 40))
+        big = 1e8 * (m + m.T)
+        big[0, 1] += 1e-4  # far above atol, within 1e-12 * 1e8-ish scale
+        check_symmetric(big)  # must not raise
+        small = (m + m.T) * 1e-12
+        small[0, 1] += 1e-9  # tiny absolutely, grossly asymmetric at scale
+        with pytest.raises(ValueError):
+            check_symmetric(small, atol=0.0)
+
+    def test_symmetry_rtol_zero_recovers_absolute_check(self):
+        a = np.eye(3)
+        a[0, 1] = 1e-9
+        with pytest.raises(ValueError):
+            check_symmetric(a, atol=1e-10, rtol=0.0)
+
+    def test_symmetry_check_rejects_nan(self):
+        a = np.eye(3)
+        a[0, 1] = np.nan
+        with pytest.raises(ValueError):
+            check_symmetric(a)
+        with pytest.raises(ValueError):
+            check_complex_symmetric(a.astype(complex))
+
+    def test_complex_symmetric_tolerance_is_scale_relative(self):
+        a = 1e7 * np.array([[1.0 + 1j, 2.0], [2.0, 3.0 - 1j]])
+        a[0, 1] += 1e-5  # rounding-sized at this scale
+        check_complex_symmetric(a)
+        with pytest.raises(ValueError):
+            check_complex_symmetric(a, rtol=1e-15)

@@ -1,0 +1,271 @@
+"""Unit tests for the runtime invariant checks (repro.verify.invariants)."""
+
+import numpy as np
+import pytest
+
+from repro.core.quadrature import transformed_gauss_legendre
+from repro.obs import Tracer, use_tracer
+from repro.verify import (
+    NULL_VERIFIER,
+    VerificationError,
+    Verifier,
+    get_verifier,
+    set_verifier,
+    use_verifier,
+    verifier_for_level,
+)
+
+
+def _sym_apply(a):
+    return lambda x: a @ x
+
+
+def _complex_symmetric(n, seed=0):
+    rng = np.random.default_rng(seed)
+    m = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+    return 0.5 * (m + m.T)  # A == A^T, not Hermitian
+
+
+class TestLifecycle:
+    def test_null_verifier_is_default(self):
+        assert get_verifier() is NULL_VERIFIER
+        assert not NULL_VERIFIER.enabled and NULL_VERIFIER.ok
+
+    def test_use_verifier_scopes_and_restores(self):
+        vf = Verifier(level="cheap")
+        with use_verifier(vf):
+            assert get_verifier() is vf
+            with use_verifier(None):
+                assert get_verifier() is NULL_VERIFIER
+            assert get_verifier() is vf
+        assert get_verifier() is NULL_VERIFIER
+
+    def test_set_verifier_none_disables(self):
+        vf = set_verifier(Verifier(level="full"))
+        assert get_verifier() is vf
+        assert set_verifier(None) is NULL_VERIFIER
+
+    def test_verifier_for_level(self):
+        assert verifier_for_level("off") is NULL_VERIFIER
+        assert verifier_for_level("cheap").level == "cheap"
+        assert verifier_for_level("full").full
+        with pytest.raises(ValueError):
+            verifier_for_level("paranoid")
+
+    def test_invalid_ctor_args(self):
+        with pytest.raises(ValueError):
+            Verifier(level="off")
+        with pytest.raises(ValueError):
+            Verifier(level="cheap", slack=0.5)
+
+    def test_strict_raises_at_failure(self):
+        vf = Verifier(level="cheap", strict=True)
+        with pytest.raises(VerificationError):
+            vf.check_ritz_values(np.array([np.nan]), 0.0)
+
+    def test_failures_mirrored_to_tracer(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            vf = Verifier(level="cheap")
+            vf.check_ritz_values(np.array([1.0, 0.0]), 0.0)  # not ascending
+        assert tracer.counters["verify_failures"] == 1
+        assert tracer.counters["verify_ritz_failures"] == 1
+        assert not vf.ok
+        assert vf.summary()["failures"][0]["check"] == "ritz"
+
+
+class TestOperatorSymmetry:
+    def test_symmetric_operator_passes(self):
+        a = _complex_symmetric(24)
+        vf = Verifier(level="full")
+        assert vf.check_operator_symmetry(_sym_apply(a), 24)
+        assert vf.ok
+
+    def test_asymmetric_operator_fails(self):
+        a = _complex_symmetric(24)
+        a[0, 1] += 0.3  # break A == A^T
+        vf = Verifier(level="full")
+        assert not vf.check_operator_symmetry(_sym_apply(a), 24)
+        assert vf.failures[0].check == "operator_symmetry"
+
+    def test_hermitian_but_not_symmetric_fails(self):
+        # The COCG invariant is the unconjugated bilinear form: a Hermitian
+        # complex matrix with Im != 0 is NOT complex symmetric.
+        rng = np.random.default_rng(3)
+        m = rng.standard_normal((16, 16)) + 1j * rng.standard_normal((16, 16))
+        h = 0.5 * (m + m.conj().T)
+        vf = Verifier(level="full")
+        assert not vf.check_operator_symmetry(_sym_apply(h), 16)
+
+    def test_cheap_level_caches_by_key(self):
+        a = _complex_symmetric(12)
+        vf = Verifier(level="cheap")
+        vf.check_operator_symmetry(_sym_apply(a), 12, key=(0, 1.0))
+        n0 = vf.checks_run
+        vf.check_operator_symmetry(_sym_apply(a), 12, key=(0, 1.0))
+        assert vf.checks_run == n0  # cached: no second probe
+        vf.check_operator_symmetry(_sym_apply(a), 12, key=(0, 2.0))
+        assert vf.checks_run == n0 + 1
+
+
+class TestSolveResidual:
+    def _system(self, n=20, k=3, seed=5):
+        a = _complex_symmetric(n, seed) + 4.0 * np.eye(n)
+        rng = np.random.default_rng(seed + 1)
+        y = rng.standard_normal((n, k)) + 1j * rng.standard_normal((n, k))
+        return a, a @ y, y
+
+    def test_true_solution_passes(self):
+        a, b, y = self._system()
+        for level in ("cheap", "full"):
+            vf = Verifier(level=level)
+            assert vf.check_solve_residual(_sym_apply(a), b, y, 1e-10, 1e-12, True)
+
+    def test_fake_convergence_caught(self):
+        a, b, y = self._system()
+        for level in ("cheap", "full"):
+            vf = Verifier(level=level)
+            assert not vf.check_solve_residual(
+                _sym_apply(a), b, np.zeros_like(y), 1e-10, 1e-12, True)
+            assert vf.failures[0].check == "solve_residual"
+
+    def test_unconverged_claim_not_flagged_cheap(self):
+        # An honest "did not converge" is a degradation event, not a lie.
+        a, b, y = self._system()
+        vf = Verifier(level="cheap")
+        assert vf.check_solve_residual(
+            _sym_apply(a), b, np.zeros_like(y), 1e-10, 0.9, False)
+        assert vf.ok
+
+    def test_understated_residual_caught_at_full(self):
+        a, b, y = self._system()
+        y_bad = y + 1e-3
+        vf = Verifier(level="full")
+        assert not vf.check_solve_residual(
+            _sym_apply(a), b, y_bad, 1e-2, 1e-12, False)
+
+    def test_nonfinite_solution_caught(self):
+        a, b, y = self._system()
+        y[0, 0] = np.nan
+        vf = Verifier(level="cheap")
+        assert not vf.check_solve_residual(_sym_apply(a), b, y, 1e-10, 1e-12, True)
+
+
+class TestSubspaceChecks:
+    def test_ritz_values(self):
+        vf = Verifier(level="cheap")
+        assert vf.check_ritz_values(np.array([-2.0, -1.0, -0.5]), 1e-9)
+        assert not vf.check_ritz_values(np.array([-1.0, -2.0]), 1e-9)
+        assert not vf.check_ritz_values(np.array([-1.0, np.inf]), 1e-9)
+        assert not vf.check_ritz_values(np.array([-1.0]), -1.0)
+
+    def test_basis_orthonormal(self):
+        rng = np.random.default_rng(0)
+        q, _ = np.linalg.qr(rng.standard_normal((30, 5)))
+        vf = Verifier(level="full")
+        assert vf.check_basis_orthonormal(q)
+        assert not vf.check_basis_orthonormal(q * 1.5)
+
+    def test_rotation(self):
+        vf = Verifier(level="full")
+        assert vf.check_rotation(np.eye(4))
+        assert not vf.check_rotation(np.full((4, 4), np.nan))
+        ill = np.diag([1.0, 1e-12, 1.0, 1.0])
+        assert not vf.check_rotation(ill)
+
+    def test_recycled_guess_residual_bound(self):
+        vf = Verifier(level="cheap")
+        assert vf.check_recycled_guess(0.8, 1e-10)  # warm start, fine
+        assert not vf.check_recycled_guess(25.0, 1e-10)  # worse than cold
+        assert not vf.check_recycled_guess(float("nan"), 1e-10)
+
+
+class TestRecycledShadow:
+    def _block(self, n=18, w=4, seed=2):
+        rng = np.random.default_rng(seed)
+        return rng.standard_normal((n, w)) + 1j * rng.standard_normal((n, w))
+
+    def test_correct_rotation_passes(self):
+        y = self._block()
+        q = np.linalg.qr(np.random.default_rng(9).standard_normal((4, 4)))[0]
+        vf = Verifier(level="cheap")
+        vf.note_recycle_store(0, 1.5, y, 0, 4)
+        vf.note_recycler_rotation(q)
+        assert vf.check_recycled_shadow(0, 1.5, y @ q, 0, 4)
+        assert vf.ok
+
+    def test_scaled_rotation_caught(self):
+        # The planted fault class: cache rotated by 1.7*Q while the true Q
+        # went to the shadow — per-residual thresholds cannot see this.
+        y = self._block()
+        q = np.linalg.qr(np.random.default_rng(9).standard_normal((4, 4)))[0]
+        vf = Verifier(level="cheap")
+        vf.note_recycle_store(0, 1.5, y, 0, 4)
+        vf.note_recycler_rotation(q)
+        assert not vf.check_recycled_shadow(0, 1.5, y @ (1.7 * q), 0, 4)
+        assert vf.failures[0].check == "recycled_guess"
+
+    def test_missed_rotation_caught(self):
+        y = self._block()
+        q = np.linalg.qr(np.random.default_rng(9).standard_normal((4, 4)))[0]
+        vf = Verifier(level="cheap")
+        vf.note_recycle_store(0, 1.5, y, 0, 4)
+        vf.note_recycler_rotation(q)
+        assert not vf.check_recycled_shadow(0, 1.5, y, 0, 4)  # stale cache
+
+    def test_slice_stores_drop_shadow(self):
+        y = self._block()
+        vf = Verifier(level="cheap")
+        vf.note_recycle_store(0, 1.5, y, 0, 4)
+        vf.note_recycle_store(0, 1.5, y[:, :2], 2, 4)  # rank slice
+        # No full-width shadow any more: nothing to verify, never a failure.
+        assert vf.check_recycled_shadow(0, 1.5, y * 3.0, 0, 4)
+        assert vf.ok
+
+    def test_width_change_drops_shadow(self):
+        y = self._block()
+        vf = Verifier(level="cheap")
+        vf.note_recycle_store(0, 1.5, y, 0, 4)
+        vf.note_recycler_rotation(np.eye(6))  # mismatched width
+        assert vf.check_recycled_shadow(0, 1.5, y * 3.0, 0, 4)
+        assert vf.ok
+
+
+class TestQuadratureAndTrace:
+    def test_table_ii_rule_passes(self):
+        vf = Verifier(level="cheap")
+        assert vf.check_quadrature(transformed_gauss_legendre(8))
+        assert vf.check_quadrature(transformed_gauss_legendre(4))
+        assert vf.ok
+
+    def test_corrupted_weights_caught(self):
+        quad = transformed_gauss_legendre(8)
+        bad = type(quad)(points=quad.points, weights=-quad.weights,
+                         unit_points=quad.unit_points,
+                         unit_weights=quad.unit_weights)
+        vf = Verifier(level="cheap")
+        assert not vf.check_quadrature(bad)
+
+    def test_quadrature_cached_per_rule(self):
+        vf = Verifier(level="cheap")
+        quad = transformed_gauss_legendre(8)
+        vf.check_quadrature(quad)
+        n0 = vf.checks_run
+        vf.check_quadrature(quad)
+        assert vf.checks_run == n0
+
+    def test_trace_identity_holds(self):
+        mu = np.array([-0.8, -0.2, -0.05])
+        term = float(np.sum(np.log1p(-mu) + mu))
+        vf = Verifier(level="cheap")
+        assert vf.check_trace_identity(mu, term)
+
+    def test_trace_identity_violation_caught(self):
+        mu = np.array([-0.8, -0.2])
+        term = float(np.sum(np.log1p(-mu) + mu))
+        vf = Verifier(level="cheap")
+        assert not vf.check_trace_identity(mu, term * 1.5 + 1.0)
+
+    def test_nonpositive_dielectric_caught(self):
+        vf = Verifier(level="cheap")
+        assert not vf.check_trace_identity(np.array([1.5]), 0.0)

@@ -1,0 +1,77 @@
+"""Integration tests: verifier hooks wired through the RPA pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.config import RPAConfig
+from repro.core import compute_rpa_energy
+from repro.verify import NULL_VERIFIER, Verifier, get_verifier, use_verifier
+
+
+def _config(**overrides):
+    base = dict(n_eig=8, n_quadrature=2, tol_subspace=1e-5,
+                tol_sternheimer=1e-6, max_filter_iterations=30, seed=3)
+    base.update(overrides)
+    return RPAConfig(**base)
+
+
+class TestVerifyLevelPlumbed:
+    def test_cheap_run_records_checks(self, toy_dft, toy_coulomb):
+        res = compute_rpa_energy(toy_dft, _config(verify_level="cheap"),
+                                 coulomb=toy_coulomb)
+        assert res.verify is not None
+        assert res.verify["level"] == "cheap"
+        assert res.verify["checks_run"] > 0
+        assert res.verify["failures"] == []
+        # The scoped verifier was uninstalled on exit.
+        assert get_verifier() is NULL_VERIFIER
+
+    def test_full_run_records_more_checks(self, toy_dft, toy_coulomb):
+        cheap = compute_rpa_energy(toy_dft, _config(verify_level="cheap"),
+                                   coulomb=toy_coulomb)
+        full = compute_rpa_energy(toy_dft, _config(verify_level="full"),
+                                  coulomb=toy_coulomb)
+        assert full.verify["checks_run"] > cheap.verify["checks_run"]
+        assert full.verify["failures"] == []
+
+    def test_off_is_bit_identical_to_verified(self, toy_dft, toy_coulomb):
+        # Enabling the verifier must not perturb the computation: it reads
+        # pipeline state but never writes, and probes with a private RNG.
+        off = compute_rpa_energy(toy_dft, _config(), coulomb=toy_coulomb)
+        on = compute_rpa_energy(toy_dft, _config(verify_level="full"),
+                                coulomb=toy_coulomb)
+        assert off.verify is None
+        assert on.energy == off.energy  # bit-identical, not approx
+        for p_off, p_on in zip(off.points, on.points):
+            assert p_on.energy_contribution == p_off.energy_contribution
+
+    def test_preinstalled_verifier_is_reused(self, toy_dft, toy_coulomb):
+        # The harness installs its own strict/instrumented verifier; the
+        # driver must use it rather than shadowing it with a fresh one.
+        vf = Verifier(level="cheap")
+        with use_verifier(vf):
+            res = compute_rpa_energy(toy_dft, _config(verify_level="cheap"),
+                                     coulomb=toy_coulomb)
+        assert res.verify["checks_run"] == vf.checks_run > 0
+
+    def test_recycling_run_is_clean(self, toy_dft, toy_coulomb):
+        cfg = _config(verify_level="full", use_recycling=True,
+                      n_quadrature=3)
+        res = compute_rpa_energy(toy_dft, cfg, coulomb=toy_coulomb)
+        assert res.verify["failures"] == []
+
+    def test_config_rejects_unknown_level(self):
+        with pytest.raises(ValueError):
+            _config(verify_level="loud")
+
+
+class TestParallelDriverHooks:
+    def test_simulated_mpi_records_checks(self, toy_dft, toy_coulomb):
+        from repro.parallel import compute_rpa_energy_parallel
+
+        res = compute_rpa_energy_parallel(
+            toy_dft, _config(verify_level="cheap"), n_ranks=2,
+            coulomb=toy_coulomb)
+        assert res.verify is not None
+        assert res.verify["checks_run"] > 0
+        assert res.verify["failures"] == []
