@@ -13,6 +13,13 @@ verifies the contract quantitatively:
    deliberately more work than any single call site performs;
 3. assert that (operations x bundle cost) stays under 2% of the disabled
    pipeline walltime.
+
+The convergence-telemetry recorder (``--telemetry``) rides the same
+contract and is pinned by ``test_telemetry_overhead`` on the paper's
+8-point quadrature pipeline: ``off`` is bit-identical to an enabled run
+(identical floats, not approximately equal — the recorder only *reads*
+solver results), ``summary`` costs < 2% walltime and ``full`` (residual
+histories + per-column tracking + tracer mirroring) < 8%.
 """
 
 import time
@@ -83,3 +90,129 @@ def test_obs_disabled_overhead(benchmark, toy_system):
     )
     benchmark.extra_info["overhead_share"] = float(ratio)
     benchmark.extra_info["n_ops"] = int(n_ops)
+
+
+def _timed_telemetry_run(dft, coulomb, level: str):
+    cfg = RPAConfig(n_eig=16, n_quadrature=8, seed=0, telemetry_level=level)
+    t0 = time.perf_counter()
+    result = compute_rpa_energy(dft, cfg, coulomb=coulomb)
+    return result, time.perf_counter() - t0
+
+
+def summary_record_seconds(n: int = 5000) -> float:
+    """Measured cost of one summary-level record, scope entry included.
+
+    Deliberately a generous per-record bundle: the real pipeline enters one
+    attempt scope per escalation *stage* (many solves), not per solve.
+    """
+    import numpy as np
+
+    from repro.obs.telemetry import ConvergenceRecorder
+    from repro.solvers.stats import SolveResult
+
+    rec = ConvergenceRecorder(level="summary")
+    res = SolveResult(
+        solution=np.zeros(8), converged=True, iterations=40,
+        residual_norm=1e-9, n_matvec=40,
+        residual_history=[10.0 * 0.6 ** k for k in range(41)])
+    with rec.solve_scope(orbital=1, omega=0.5, guess="recycled"):
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with rec.attempt_scope(0, stage="bench"):
+                rec.record_solve("cg", res)
+        elapsed = time.perf_counter() - t0
+    return elapsed / n
+
+
+def test_telemetry_overhead(benchmark, toy_system):
+    dft, coulomb = toy_system
+    _timed_telemetry_run(dft, coulomb, "off")  # warm caches before timing
+
+    results, walls = {}, {"off": [], "summary": [], "full": []}
+    rounds = [0]
+
+    def _measure():
+        # Rotate the level order each round so slow drift (thermal, cache,
+        # background load) cannot systematically penalise one level.
+        order = ("off", "summary", "full")
+        shift = rounds[0] % 3
+        rounds[0] += 1
+        for level in order[shift:] + order[:shift]:
+            results[level], wall = _timed_telemetry_run(dft, coulomb, level)
+            walls[level].append(wall)
+
+    benchmark.pedantic(_measure, rounds=3, iterations=1)
+
+    def _full_ratio():
+        return min(walls["full"]) / min(walls["off"]) - 1.0
+
+    # Wall-clock jitter on shared machines can exceed the full-level budget
+    # on best-of-3; keep taking off/full pairs (alternating order) until the
+    # mins settle. Bounded: a real regression (a constant offset, not
+    # jitter) survives any number of extra mins and still fails below.
+    for extra in range(12):
+        if _full_ratio() < 0.08:
+            break
+        for level in (("off", "full") if extra % 2 else ("full", "off")):
+            _, wall = _timed_telemetry_run(dft, coulomb, level)
+            walls[level].append(wall)
+    off_wall = min(walls["off"])
+
+    # 1. Telemetry must not perturb the computation: bit-identical runs.
+    e_off = results["off"].energy
+    assert results["summary"].energy == e_off
+    assert results["full"].energy == e_off
+    for level in ("summary", "full"):
+        for p_off, p_lvl in zip(results["off"].points, results[level].points):
+            assert p_lvl.energy_contribution == p_off.energy_contribution
+
+    # 2. The payload contract: nothing at off, populated otherwise.
+    assert results["off"].telemetry is None
+    for level in ("summary", "full"):
+        payload = results[level].telemetry
+        assert payload is not None and payload["level"] == level
+        assert payload["counters"]["solves"] > 0
+        assert len(payload["points"]) == 8
+    assert "residual_history" not in next(iter(
+        results["summary"].telemetry["solves"]), {})
+    full_solves = results["full"].telemetry["solves"]
+    assert any("residual_history" in rec for rec in full_solves)
+
+    # 3a. Summary-level overhead < 2%, estimated like the disabled-path
+    # test above: (records per run) x (measured per-record cost). The only
+    # summary-level hook is the per-solve record — there is no in-iteration
+    # work — so the product bounds the real cost, and unlike a wall-to-wall
+    # delta at the ~1% scale it does not drown in machine jitter.
+    n_records = results["summary"].telemetry["counters"]["solves"]
+    per_record = summary_record_seconds()
+    ratio_summary = n_records * per_record / off_wall
+    assert ratio_summary < 0.02, (
+        f"--telemetry summary overhead {100 * ratio_summary:.2f}% >= 2% "
+        f"({n_records} records x {per_record * 1e6:.1f} us vs {off_wall:.3f} s)")
+
+    # 3b. Full level does real per-iteration work inside the solvers
+    # (residual-history retention, per-column einsum tracking), so it is
+    # held to its 8% budget wall-to-wall.
+    ratio_full = _full_ratio()
+    assert ratio_full < 0.08, (
+        f"--telemetry full overhead {100 * ratio_full:.2f}% >= 8% "
+        f"({min(walls['full']):.3f}s vs {off_wall:.3f}s)")
+
+    write_report(
+        "telemetry_overhead",
+        "Convergence-telemetry overhead (toy pipeline, 8-point quadrature)\n"
+        f"energies off/summary/full          : bit-identical ({e_off:.12e})\n"
+        f"solves recorded per run            : "
+        f"{results['full'].telemetry['n_recorded']}\n"
+        f"off walltime (best of {len(walls['off'])})           : {off_wall:.3f} s\n"
+        f"summary per-record cost            : {per_record * 1e6:.1f} us "
+        f"x {n_records} records\n"
+        f"summary overhead (estimated)       : {100 * ratio_summary:.2f}% "
+        "(< 2% required)\n"
+        f"full walltime (best of {len(walls['full'])})          : "
+        f"{min(walls['full']):.3f} s\n"
+        f"full overhead                      : {100 * ratio_full:.2f}% "
+        "(< 8% required)",
+    )
+    benchmark.extra_info["summary_overhead"] = float(ratio_summary)
+    benchmark.extra_info["full_overhead"] = float(ratio_full)

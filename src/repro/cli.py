@@ -35,7 +35,10 @@ from repro.grid import CoulombOperator
 from repro.io import estimate_memory_mb, format_output_log, load_rpa_config
 from repro.obs import (
     NULL_TRACER,
+    RunMonitor,
     Tracer,
+    recorder_for_level,
+    use_recorder,
     use_tracer,
     write_chrome_trace,
     write_jsonl,
@@ -85,7 +88,8 @@ def chrome_trace_path(trace_path: str) -> str:
     return base + ".chrome.json"
 
 
-def _export_observability(args, tracer, config, system: str, **fields) -> None:
+def _export_observability(args, tracer, config, system: str,
+                          telemetry: dict | None = None, **fields) -> None:
     """Write the requested trace/metrics/manifest files after a run."""
     if not tracer.enabled:
         if args.trace or args.metrics:
@@ -94,7 +98,8 @@ def _export_observability(args, tracer, config, system: str, **fields) -> None:
         return
     if args.trace:
         write_jsonl(tracer, args.trace,
-                    meta={"system": system, "ranks": args.ranks})
+                    meta={"system": system, "ranks": args.ranks},
+                    telemetry=telemetry)
         chrome = write_chrome_trace(tracer, chrome_trace_path(args.trace))
         print(f"wrote trace {args.trace} (+ {chrome})", file=sys.stderr)
     if args.metrics:
@@ -102,9 +107,18 @@ def _export_observability(args, tracer, config, system: str, **fields) -> None:
                       extra={"system": system, "ranks": args.ranks, **fields})
         print(f"wrote metrics {args.metrics}", file=sys.stderr)
     if args.output:
+        extra = {}
+        if telemetry:
+            # The manifest stays compact: counters only, not the solve ring.
+            extra["telemetry"] = {
+                "level": telemetry.get("level"),
+                "n_recorded": telemetry.get("n_recorded"),
+                "counters": telemetry.get("counters", {}),
+            }
         manifest = write_manifest(args.output + ".manifest.json", config=config,
                                   tracer=tracer, system=system,
-                                  ranks=args.ranks, output=args.output, **fields)
+                                  ranks=args.ranks, output=args.output,
+                                  **extra, **fields)
         print(f"wrote manifest {manifest}", file=sys.stderr)
 
 
@@ -128,6 +142,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the aggregated counters/kernel-timings JSON here")
     parser.add_argument("--no-obs", action="store_true",
                         help="disable observability collection entirely")
+    parser.add_argument("--telemetry", choices=("off", "summary", "full"),
+                        default="off",
+                        help="per-solve convergence telemetry: 'summary' keeps "
+                             "compact records + per-(orbital, omega) aggregates, "
+                             "'full' additionally keeps residual histories and "
+                             "per-column convergence iterations. The payload is "
+                             "embedded in the --trace JSONL stream")
+    parser.add_argument("--watch", action="store_true",
+                        help="render a live run-health dashboard (sweep progress, "
+                             "ETA, per-frequency decay sparklines, solver "
+                             "counters) on stderr; implies --telemetry summary")
     parser.add_argument("--recycle", action="store_true",
                         help="cache converged Sternheimer solutions per (orbital, "
                              "omega), rotate them through Rayleigh-Ritz and reuse "
@@ -159,9 +184,20 @@ def main(argv: list[str] | None = None) -> int:
                              "reported on stderr and as verify_* counters")
     args = parser.parse_args(argv)
 
+    if args.watch and args.telemetry == "off":
+        args.telemetry = "summary"
+        print("note: --watch implies --telemetry summary", file=sys.stderr)
     tracer = NULL_TRACER if args.no_obs else Tracer()
-    with use_tracer(tracer):
-        return _run(args, tracer)
+    recorder = recorder_for_level(args.telemetry)
+    with use_tracer(tracer), use_recorder(recorder):
+        monitor = None
+        if args.watch:
+            monitor = RunMonitor(recorder).start()
+        try:
+            return _run(args, tracer, recorder)
+        finally:
+            if monitor is not None:
+                monitor.stop()
 
 
 def _resilience_from_args(args) -> ResilienceConfig | None:
@@ -182,7 +218,7 @@ def _resilience_from_args(args) -> ResilienceConfig | None:
     return ResilienceConfig(**kwargs)
 
 
-def _run(args, tracer) -> int:
+def _run(args, tracer, recorder) -> int:
     crystal, grid, scf_kwargs, default_n_eig = build_system(args.system)
     n_eig = min(args.n_eig or default_n_eig, grid.n_points)
     if args.input is not None:
@@ -214,6 +250,12 @@ def _run(args, tracer) -> int:
         config = replace(config, verify_level=args.verify)
         print(f"verify: runtime invariant checks at level '{args.verify}'",
               file=sys.stderr)
+    if args.telemetry != "off":
+        from dataclasses import replace
+
+        # The CLI-installed recorder stays authoritative (install-unless-
+        # active); the config field keeps the manifest/provenance truthful.
+        config = replace(config, telemetry_level=args.telemetry)
 
     print(f"system {crystal.label}: {crystal.n_atoms} atoms, grid {grid.shape} "
           f"(n_d = {grid.n_points}), n_eig = {config.n_eig}", file=sys.stderr)
@@ -237,7 +279,7 @@ def _run(args, tracer) -> int:
               f"{par.energy_per_atom:.5E} (Ha/atom)")
         _print_resilience_summary(par.stats)
         _export_observability(
-            args, tracer, config, crystal.label,
+            args, tracer, config, crystal.label, telemetry=par.telemetry,
             energy=par.energy, energy_per_atom=par.energy_per_atom,
             converged=par.converged, simulated_walltime=par.simulated_walltime,
             comm_seconds=par.comm_seconds,
@@ -268,7 +310,7 @@ def _run(args, tracer) -> int:
     else:
         print(log)
     _export_observability(
-        args, tracer, config, crystal.label,
+        args, tracer, config, crystal.label, telemetry=result.telemetry,
         energy=result.energy, energy_per_atom=result.energy_per_atom,
         converged=result.converged, wall_seconds=result.elapsed_seconds,
         scf_iterations=dft.n_iterations, scf_converged=dft.converged,

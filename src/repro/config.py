@@ -150,6 +150,12 @@ class RPAConfig:
         Apply the Section V shifted inverse-Laplacian preconditioner
         selectively, to the difficult (indefinite spectrum, small omega)
         Sternheimer systems only.
+    telemetry_level:
+        Convergence telemetry (``repro.obs.telemetry``): ``"off"`` (default;
+        the null recorder, bit-identical to an uninstrumented run),
+        ``"summary"`` (compact per-solve records and per-(orbital, omega)
+        aggregates) or ``"full"`` (adds residual histories, per-column
+        convergence iterations and per-solve tracer events).
     resilience:
         Optional :class:`ResilienceConfig` enabling the escalation chain,
         per-solve matvec budgets and graceful degradation. ``None`` keeps
@@ -174,6 +180,7 @@ class RPAConfig:
     trace_method: str = "eigenvalues"  # "eigenvalues" | "lanczos" | "block_lanczos" | "hutchinson"
     resilience: ResilienceConfig | None = None  # None = plain solver, no escalation
     verify_level: str = "off"  # "off" | "cheap" | "full" (repro.verify)
+    telemetry_level: str = "off"  # "off" | "summary" | "full" (repro.obs.telemetry)
 
     def __post_init__(self) -> None:
         if self.n_eig <= 0:
@@ -189,6 +196,11 @@ class RPAConfig:
         if self.verify_level not in ("off", "cheap", "full"):
             raise ValueError(
                 f"verify_level must be 'off', 'cheap' or 'full', got {self.verify_level!r}"
+            )
+        if self.telemetry_level not in ("off", "summary", "full"):
+            raise ValueError(
+                f"telemetry_level must be 'off', 'summary' or 'full', "
+                f"got {self.telemetry_level!r}"
             )
         if isinstance(self.tol_subspace, (int, float)):
             self.tol_subspace = (float(self.tol_subspace),) * self.n_quadrature

@@ -28,6 +28,7 @@ from repro.core.trace import (
 from repro.solvers.recycle import RecycleStats, SolveRecycler
 from repro.dft.scf import DFTResult
 from repro.grid.coulomb import CoulombOperator
+from repro.obs.telemetry import get_recorder, recorder_for_level, use_recorder
 from repro.obs.tracer import get_tracer
 from repro.utils.rng import default_rng
 from repro.utils.timing import KernelTimers
@@ -72,6 +73,7 @@ class RPAEnergyResult:
     final_vectors: np.ndarray | None = None
     recycle: "RecycleStats | None" = None  # solve-cache accounting (None = cold run)
     verify: dict | None = None  # Verifier.summary() (None = verification off)
+    telemetry: dict | None = None  # ConvergenceRecorder.payload() (None = off)
 
     @property
     def converged(self) -> bool:
@@ -224,6 +226,15 @@ def compute_rpa_energy(
             )
         if verifier.enabled:
             verifier.check_quadrature(quad)
+        # Convergence telemetry follows the same install-unless-active rule
+        # as the verifier (an outer harness's recorder wins over config).
+        recorder = get_recorder()
+        if config.telemetry_level != "off" and not recorder.enabled:
+            recorder = stack.enter_context(
+                use_recorder(recorder_for_level(config.telemetry_level))
+            )
+        if recorder.enabled:
+            recorder.sweep_started(len(quad))
         stack.enter_context(
             tracer.span("rpa_energy", system=dft.crystal.label,
                         n_eig=config.n_eig, n_quadrature=config.n_quadrature)
@@ -237,6 +248,8 @@ def compute_rpa_energy(
             def apply_op(block: np.ndarray) -> np.ndarray:
                 return chi0_operator.apply_symmetrized(block, omega, timers=timers)
 
+            if recorder.enabled:
+                recorder.point_started(k, omega)
             with tracer.span("omega_point", index=k, omega=omega,
                              weight=weight) as sp:
                 sub: SubspaceResult = filtered_subspace_iteration(
@@ -278,6 +291,13 @@ def compute_rpa_energy(
                        error=sub.error, converged=sub.converged)
                 if point_bound > 0.0:
                     sp.set(solve_error_bound=point_bound)
+            if recorder.enabled:
+                recorder.point_finished(
+                    k, omega=omega, seconds=time.perf_counter() - t0,
+                    energy_term=e_k, converged=sub.converged,
+                    iterations=sub.iterations, error=sub.error,
+                    error_history=sub.error_history,
+                )
             if tracer.enabled:
                 tracer.incr("omega_points")
                 if sub.iterations == 0:
@@ -312,6 +332,7 @@ def compute_rpa_energy(
         final_vectors=V.copy() if keep_vectors else None,
         recycle=recycler.stats if recycler is not None else None,
         verify=verifier.summary() if verifier.enabled else None,
+        telemetry=recorder.payload() if recorder.enabled else None,
     )
 
 

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.dft.hamiltonian import Hamiltonian
 from repro.grid.coulomb import CoulombOperator
+from repro.obs.telemetry import get_recorder
 from repro.obs.tracer import get_tracer
 from repro.solvers.block_cocg import block_cocg_solve
 from repro.solvers.block_size import CostFn, flop_cost_model, solve_with_dynamic_block_size
@@ -334,7 +335,10 @@ class Chi0Operator:
                     j, float(omega), x0, self.recycler.last_guess_slice[0],
                     self.recycler.width,
                 )
-        with tracer.span("sternheimer_solve", orbital=j, omega=omega,
+        recorder = get_recorder()
+        with recorder.solve_scope(orbital=j, omega=float(omega),
+                                  guess=guess_source), \
+             tracer.span("sternheimer_solve", orbital=j, omega=omega,
                          n_rhs=n_v, guess=guess_source,
                          preconditioned=preconditioner is not None) as sp:
             if self.dynamic_block_size and n_v > 1:

@@ -1,4 +1,4 @@
-"""repro.obs — structured tracing and metrics for the full RPA pipeline.
+"""repro.obs — structured tracing, telemetry and metrics for the RPA pipeline.
 
 The paper's evaluation is built on per-kernel timing breakdowns (Fig. 5),
 iteration counts vs. block size (Table IV) and strong scaling (Fig. 4);
@@ -8,6 +8,19 @@ solves, COCG iterations, simulated MPI ranks) emits hierarchical spans and
 counters into one :class:`Tracer`, exportable as a JSONL event stream, a
 Chrome ``trace_event`` file (``chrome://tracing`` / Perfetto) and an
 aggregated run manifest.
+
+Layered on the tracer:
+
+* :mod:`repro.obs.telemetry` — per-solve convergence records
+  (:class:`ConvergenceRecorder`, ``--telemetry``): residual histories,
+  per-column convergence, breakdowns and recycle-seed residuals keyed by
+  ``(orbital, omega, attempt)``.
+* :mod:`repro.obs.health` — run-health analytics: decay-rate estimation,
+  stagnation/divergence classification, sweep ETA, and the live
+  :class:`RunMonitor` dashboard behind ``--watch``.
+* :mod:`repro.obs.regress` — the pinned performance-regression benchmark
+  (``python -m repro.obs.regress``) gating matvecs/wall-clock/energy
+  against a committed baseline.
 
 Quick use::
 
@@ -19,8 +32,10 @@ Quick use::
     obs.write_chrome_trace(tracer, "run.chrome.json")
 
 then ``python -m repro.obs.report run.trace.jsonl`` renders the Fig. 5
-breakdown. When no tracer is installed the active tracer is
-:data:`NULL_TRACER` and every instrumentation point is a no-op guard.
+breakdown (``--html report.html`` for the full health report). When no
+tracer/recorder is installed the active singletons are :data:`NULL_TRACER`
+and :data:`NULL_RECORDER` and every instrumentation point is a no-op
+guard.
 """
 
 from repro.obs.export import (
@@ -28,10 +43,31 @@ from repro.obs.export import (
     git_revision,
     read_chrome_trace,
     read_jsonl,
+    read_telemetry,
     write_chrome_trace,
     write_jsonl,
     write_manifest,
     write_metrics,
+)
+from repro.obs.health import (
+    DecayEstimator,
+    RunMonitor,
+    classify_history,
+    fit_decay_rate,
+    sparkline,
+    sweep_eta,
+)
+from repro.obs.memory import MemorySampler
+from repro.obs.telemetry import (
+    NULL_RECORDER,
+    TELEMETRY_LEVELS,
+    ConvergenceRecorder,
+    NullRecorder,
+    get_recorder,
+    record_solves,
+    recorder_for_level,
+    set_recorder,
+    use_recorder,
 )
 from repro.obs.tracer import (
     FIG5_KERNELS,
@@ -46,17 +82,34 @@ from repro.obs.tracer import (
 
 __all__ = [
     "FIG5_KERNELS",
+    "NULL_RECORDER",
     "NULL_TRACER",
+    "TELEMETRY_LEVELS",
+    "ConvergenceRecorder",
+    "DecayEstimator",
+    "MemorySampler",
+    "NullRecorder",
     "NullTracer",
+    "RunMonitor",
     "Span",
     "Tracer",
-    "get_tracer",
-    "set_tracer",
-    "use_tracer",
     "chrome_trace_events",
+    "classify_history",
+    "fit_decay_rate",
+    "get_recorder",
+    "get_tracer",
     "git_revision",
     "read_chrome_trace",
     "read_jsonl",
+    "read_telemetry",
+    "record_solves",
+    "recorder_for_level",
+    "set_recorder",
+    "set_tracer",
+    "sparkline",
+    "sweep_eta",
+    "use_recorder",
+    "use_tracer",
     "write_chrome_trace",
     "write_jsonl",
     "write_manifest",

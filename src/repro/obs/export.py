@@ -51,8 +51,15 @@ def _dumps(obj) -> str:
 # -- JSONL event stream ----------------------------------------------------------
 
 
-def write_jsonl(tracer, path: str | Path, meta: dict | None = None) -> Path:
-    """Write the tracer's full event stream as JSON Lines; returns the path."""
+def write_jsonl(tracer, path: str | Path, meta: dict | None = None,
+                telemetry: dict | None = None) -> Path:
+    """Write the tracer's full event stream as JSON Lines; returns the path.
+
+    ``telemetry`` optionally embeds a convergence-telemetry payload
+    (:meth:`repro.obs.telemetry.ConvergenceRecorder.payload`) as one
+    ``telemetry`` record before the summary, making the JSONL file the
+    single artifact the HTML report renders from.
+    """
     path = Path(path)
     with open(path, "w") as fh:
         header = {"type": "trace_header", "version": JSONL_VERSION,
@@ -62,6 +69,8 @@ def write_jsonl(tracer, path: str | Path, meta: dict | None = None) -> Path:
         fh.write(_dumps(header) + "\n")
         for ev in tracer.events:
             fh.write(_dumps(ev) + "\n")
+        if telemetry:
+            fh.write(_dumps({"type": "telemetry", "payload": telemetry}) + "\n")
         fh.write(_dumps({"type": "summary", **tracer.metrics()}) + "\n")
     return path
 
@@ -89,6 +98,23 @@ def read_jsonl(path: str | Path) -> tuple[list[dict], dict]:
     return events, summary
 
 
+def read_telemetry(path: str | Path) -> dict:
+    """Extract the convergence-telemetry payload from a JSONL stream.
+
+    Returns the payload dict, or ``{}`` when the stream carries none
+    (telemetry was off, or the file predates the telemetry record).
+    """
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("type") == "telemetry":
+                return rec.get("payload", {})
+    return {}
+
+
 # -- Chrome trace_event format ---------------------------------------------------
 
 
@@ -112,11 +138,14 @@ def chrome_trace_events(events: Iterable[dict]) -> list[dict]:
     for ev in events:
         domain = ev.get("domain") or "wall"
         pid = pid_of(domain)
-        tid = ev.get("rank")
-        tid = 0 if tid is None else int(tid)
+        # Rank r lands on tid r+1; rank-less events (the main/orchestrator
+        # timeline, e.g. whole-sweep omega_point spans) get the dedicated
+        # tid 0 so they can never interleave with rank 0's own track.
+        rank = ev.get("rank")
+        tid = 0 if rank is None else int(rank) + 1
         if (pid, tid) not in seen_tids:
             seen_tids.add((pid, tid))
-            label = f"rank {tid}" if domain != "wall" else "main"
+            label = "main" if tid == 0 else f"rank {tid - 1}"
             out.append({"name": "thread_name", "ph": "M", "pid": pid,
                         "tid": tid, "args": {"name": label}})
         kind = ev.get("type")
@@ -163,11 +192,14 @@ def read_chrome_trace(path: str | Path) -> list[dict]:
         if ph not in ("X", "i"):
             continue
         domain = names.get(ev.get("pid"), "wall")
+        tid = int(ev.get("tid", 0))
         rec = {
             "type": "span" if ph == "X" else "instant",
             "name": ev["name"],
             "ts": float(ev.get("ts", 0.0)) / 1e6,
-            "rank": int(ev.get("tid", 0)),
+            # Inverse of the export mapping: tid 0 is the rank-less main
+            # track, tid r+1 carries rank r.
+            "rank": None if tid == 0 else tid - 1,
             "domain": domain,
             "attrs": ev.get("args", {}),
         }

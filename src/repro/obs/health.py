@@ -1,0 +1,271 @@
+"""Run-health analytics over convergence telemetry.
+
+Online answers to "is this run healthy?": residual-decay-rate estimation
+(least-squares geometric fit plus a Robbins-Monro style online
+estimator), stagnation/divergence classification, ETA prediction for the
+quadrature sweep from completed omega points, and :class:`RunMonitor` — a
+live terminal dashboard over an active
+:class:`~repro.obs.telemetry.ConvergenceRecorder` (the CLI's ``--watch``).
+
+Everything here *reads* recorder state; nothing feeds back into the
+computation, so health analytics can never perturb the numerics.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import threading
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.obs.telemetry import ConvergenceRecorder
+
+#: Decay-rate boundaries for :func:`classify_history`.
+STAGNATION_RATE = 0.995
+DIVERGENCE_RATE = 1.02
+
+_SPARK_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def fit_decay_rate(history: Sequence[float]) -> float:
+    """Geometric decay rate ``q`` from ``r_k ~ r_0 q^k`` by log-linear fit.
+
+    Least squares on ``log r_k`` over the positive, finite entries; the
+    "Robbins-style geometric fit" in that it estimates the *average*
+    per-iteration contraction, robust to the non-monotone residuals COCG
+    produces. Returns ``nan`` with fewer than two usable samples.
+    """
+    h = np.asarray([float(x) for x in history], dtype=float)
+    mask = np.isfinite(h) & (h > 0.0)
+    if mask.sum() < 2:
+        return float("nan")
+    k = np.flatnonzero(mask).astype(float)
+    slope, _ = np.polyfit(k, np.log(h[mask]), 1)
+    return float(np.exp(slope))
+
+
+class DecayEstimator:
+    """Online Robbins-Monro estimate of the geometric decay rate.
+
+    Feeds one residual at a time (no history storage): the running mean of
+    successive log-ratios, ``m_k = m_{k-1} + (log(r_k / r_{k-1}) - m_{k-1}) / k``,
+    i.e. stochastic approximation with the classic ``1/k`` gain. ``rate``
+    is ``exp(m_k)`` — identical in the limit to the geometric fit, but
+    O(1) memory for in-flight monitoring.
+    """
+
+    def __init__(self) -> None:
+        self._prev: float | None = None
+        self._mean_log = 0.0
+        self.n = 0
+
+    def update(self, residual: float) -> None:
+        r = float(residual)
+        if not math.isfinite(r) or r <= 0.0:
+            self._prev = None
+            return
+        if self._prev is not None:
+            self.n += 1
+            self._mean_log += (math.log(r / self._prev) - self._mean_log) / self.n
+        self._prev = r
+
+    @property
+    def rate(self) -> float:
+        return math.exp(self._mean_log) if self.n else float("nan")
+
+
+def classify_history(history: Sequence[float], tol: float | None = None,
+                     window: int = 8) -> str:
+    """Classify a residual/error history.
+
+    Returns one of ``"converged"`` (last entry at/below ``tol``),
+    ``"diverging"`` (recent decay rate > ``DIVERGENCE_RATE``),
+    ``"stagnating"`` (rate > ``STAGNATION_RATE``), ``"converging"``
+    (healthy contraction) or ``"unknown"`` (too little data). The rate is
+    fit over the trailing ``window`` entries, so early transients don't
+    mask late-stage stagnation.
+    """
+    h = [float(x) for x in history]
+    if tol is not None and h and math.isfinite(h[-1]) and h[-1] <= tol:
+        return "converged"
+    q = fit_decay_rate(h[-window:])
+    if math.isnan(q):
+        return "unknown"
+    if q > DIVERGENCE_RATE:
+        return "diverging"
+    if q > STAGNATION_RATE:
+        return "stagnating"
+    return "converging"
+
+
+def sweep_eta(points: Iterable[dict], n_total: int | None,
+              window: int = 3) -> dict:
+    """ETA for the quadrature sweep from completed point records.
+
+    ``points`` are :meth:`ConvergenceRecorder.point_finished` records.
+    Prediction uses the mean duration of the trailing ``window`` completed
+    points (later points are cheaper under warm starting, so a global mean
+    over-predicts). Returns ``eta_seconds=None`` when unpredictable.
+    """
+    done = [p for p in points if p.get("seconds") is not None]
+    out = {
+        "n_done": len(done),
+        "n_total": n_total,
+        "per_point_seconds": None,
+        "eta_seconds": None,
+    }
+    if not done or not n_total:
+        return out
+    recent = done[-window:]
+    per_point = sum(float(p["seconds"]) for p in recent) / len(recent)
+    out["per_point_seconds"] = per_point
+    out["eta_seconds"] = per_point * max(0, n_total - len(done))
+    return out
+
+
+def sparkline(values: Sequence[float], log_scale: bool = True) -> str:
+    """Unicode sparkline of ``values`` (log-scaled by default).
+
+    Residual decays span orders of magnitude, so the log scale is the
+    informative one; non-positive/non-finite entries render as spaces.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if log_scale:
+        usable = [v for v in vals if v > 0.0 and math.isfinite(v)]
+        scaled = [math.log10(v) if v > 0.0 and math.isfinite(v) else None
+                  for v in vals]
+    else:
+        usable = [v for v in vals if math.isfinite(v)]
+        scaled = [v if math.isfinite(v) else None for v in vals]
+    if not usable:
+        return " " * len(vals)
+    lo = min(s for s in scaled if s is not None)
+    hi = max(s for s in scaled if s is not None)
+    span = hi - lo
+    chars = []
+    for s in scaled:
+        if s is None:
+            chars.append(" ")
+            continue
+        frac = 0.5 if span == 0.0 else (s - lo) / span
+        chars.append(_SPARK_TICKS[min(len(_SPARK_TICKS) - 1,
+                                      int(frac * len(_SPARK_TICKS)))])
+    return "".join(chars)
+
+
+class RunMonitor:
+    """Live terminal dashboard over an active recorder (``--watch``).
+
+    Renders sweep progress + ETA, per-omega convergence rows with
+    residual-decay sparklines, and solver-health counters. :meth:`start`
+    launches a daemon thread that re-renders every ``interval`` seconds to
+    ``stream``; :meth:`stop` prints one final frame. Also usable one-shot
+    via :meth:`render` (no thread), or as a context manager.
+    """
+
+    def __init__(self, recorder: ConvergenceRecorder,
+                 stream=None, interval: float = 2.0,
+                 tol: float | None = None) -> None:
+        self.recorder = recorder
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = float(interval)
+        self.tol = tol
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- rendering -------------------------------------------------------------
+
+    def render(self) -> str:
+        """One dashboard frame as text."""
+        rec = self.recorder
+        points = list(rec.points)
+        eta = sweep_eta(points, rec.n_points_total)
+        lines = [self._progress_line(eta, rec)]
+        if points:
+            lines.append("  k   omega      iters  error      status       decay")
+            for p in points:
+                lines.append(self._point_line(p))
+        for p in rec.open_points:
+            lines.append(
+                f"  {p['index']:>2}  {p['omega']:<9.4f} running "
+                f"({p['elapsed']:.1f}s elapsed)"
+            )
+        lines.append(self._solver_line(rec))
+        return "\n".join(lines)
+
+    def _progress_line(self, eta: dict, rec: ConvergenceRecorder) -> str:
+        total = eta["n_total"]
+        head = (f"RPA sweep: {eta['n_done']}/{total} omega points"
+                if total else f"RPA sweep: {eta['n_done']} omega points")
+        if eta["eta_seconds"] is not None:
+            head += (f", ETA {eta['eta_seconds']:.1f}s "
+                     f"({eta['per_point_seconds']:.1f}s/point)")
+        return head
+
+    def _point_line(self, p: dict) -> str:
+        hist = p.get("error_history") or []
+        status = classify_history(hist, tol=self.tol)
+        if p.get("converged"):
+            status = "converged"
+        q = fit_decay_rate(hist)
+        decay = f"{q:.3f}" if not math.isnan(q) else "  -  "
+        err = p.get("error")
+        err_s = f"{err:.2e}" if isinstance(err, (int, float)) else "   -    "
+        return (f"  {p.get('index', 0):>2}  {p.get('omega', 0.0):<9.4f} "
+                f"{p.get('iterations', 0):>5}  {err_s}  {status:<11}  "
+                f"{decay}  {sparkline(hist)}")
+
+    def _solver_line(self, rec: ConvergenceRecorder) -> str:
+        c = rec.counters
+        parts = [
+            f"solves {int(c.get('solves', 0))}",
+            f"matvecs {int(c.get('matvecs', 0))}",
+        ]
+        for key, label in (("unconverged", "unconverged"),
+                           ("breakdowns", "breakdowns"),
+                           ("escalated_records", "escalated"),
+                           ("recycled_seed_solves", "recycled seeds")):
+            if c.get(key):
+                parts.append(f"{label} {int(c[key])}")
+        if rec.n_dropped:
+            parts.append(f"ring dropped {rec.n_dropped}")
+        return "solvers: " + ", ".join(parts)
+
+    # -- background watching ---------------------------------------------------
+
+    def start(self) -> "RunMonitor":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="repro-run-monitor")
+        self._thread.start()
+        return self
+
+    def stop(self, final_frame: bool = True) -> None:
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=max(1.0, 2 * self.interval))
+            self._thread = None
+        if final_frame:
+            self._emit()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._emit()
+
+    def _emit(self) -> None:
+        try:
+            print(self.render(), file=self.stream, flush=True)
+        except ValueError:  # stream closed mid-run
+            pass
+
+    def __enter__(self) -> "RunMonitor":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -27,7 +27,7 @@ import sys
 from pathlib import Path
 
 from repro.analysis.reporting import format_table
-from repro.obs.export import read_chrome_trace, read_jsonl
+from repro.obs.export import read_chrome_trace, read_jsonl, read_telemetry
 from repro.obs.tracer import FIG5_KERNELS
 
 
@@ -72,11 +72,18 @@ RECYCLE_COUNTERS = (
 )
 
 
+#: Gauges worth summarizing in the recycle table (min/max/mean/count).
+RECYCLE_GAUGES = ("recycle_guess_residual",)
+
+
 def recycle_table(summary: dict) -> str | None:
     """Solve-recycling counter table from a trace's summary record.
 
     Returns None when the run had no recycling/preconditioning activity,
-    so cold traces render exactly as before.
+    so cold traces render exactly as before. When the summary carries
+    ``gauge_stats`` (newer traces), gauges like ``recycle_guess_residual``
+    render as min/max/mean/count aggregate rows instead of a misleading
+    last-value sample.
     """
     counters = summary.get("counters", {})
     present = [(name, counters[name]) for name in RECYCLE_COUNTERS
@@ -88,6 +95,16 @@ def recycle_table(summary: dict) -> str | None:
     looked_up = served + counters.get("recycle_misses", 0)
     if looked_up:
         rows.append(["guess_serve_rate", f"{100.0 * served / looked_up:.1f}%"])
+    gauge_stats = summary.get("gauge_stats", {})
+    for gauge in RECYCLE_GAUGES:
+        st = gauge_stats.get(gauge)
+        if not st or not st.get("count"):
+            continue
+        mean = st.get("mean", st["sum"] / st["count"])
+        rows.append([f"{gauge}.min", f"{st['min']:.3e}"])
+        rows.append([f"{gauge}.mean", f"{mean:.3e}"])
+        rows.append([f"{gauge}.max", f"{st['max']:.3e}"])
+        rows.append([f"{gauge}.count", int(st["count"])])
     return format_table(["counter", "value"], rows,
                         title="Sternheimer solve recycling / preconditioning")
 
@@ -148,6 +165,150 @@ def breakdown_table(events: list[dict], kernels: tuple[str, ...] | None = FIG5_K
     return format_table(["kernel", "seconds", "share", "spans"], rows, title=title)
 
 
+# -- HTML report -----------------------------------------------------------------
+
+
+def _svg_sparkline(values: list[float], width: int = 160, height: int = 36) -> str:
+    """Inline SVG polyline of a residual/error history (log scale)."""
+    import math
+
+    pts = [math.log10(v) for v in values
+           if isinstance(v, (int, float)) and v > 0.0 and math.isfinite(v)]
+    if len(pts) < 2:
+        return "<svg width='%d' height='%d'></svg>" % (width, height)
+    lo, hi = min(pts), max(pts)
+    span = (hi - lo) or 1.0
+    n = len(pts)
+    coords = " ".join(
+        f"{(i / (n - 1)) * (width - 4) + 2:.1f},"
+        f"{(1.0 - (p - lo) / span) * (height - 6) + 3:.1f}"
+        for i, p in enumerate(pts)
+    )
+    return (f"<svg width='{width}' height='{height}' class='spark'>"
+            f"<polyline points='{coords}' fill='none' stroke='#2563eb' "
+            f"stroke-width='1.5'/></svg>")
+
+
+def _html_escape(text) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def _html_table(headers: list[str], rows: list[list], title: str) -> str:
+    head = "".join(f"<th>{_html_escape(h)}</th>" for h in headers)
+    body = "\n".join(
+        "<tr>" + "".join(
+            f"<td>{cell if isinstance(cell, str) and cell.startswith('<svg') else _html_escape(cell)}</td>"
+            for cell in row) + "</tr>"
+        for row in rows
+    )
+    return (f"<h2>{_html_escape(title)}</h2>\n"
+            f"<table><thead><tr>{head}</tr></thead><tbody>\n{body}\n"
+            f"</tbody></table>")
+
+
+#: Counter prefixes surfaced in the HTML run-health section.
+HEALTH_COUNTER_GROUPS = ("escalat", "retry", "retried", "degraded", "recycle",
+                         "precondition", "verify", "worker_pool", "solves",
+                         "matvecs", "unconverged", "breakdown")
+
+
+def render_html(events: list[dict], summary: dict, telemetry: dict,
+                source: str = "") -> str:
+    """Self-contained HTML report: sweep health, sparklines, Fig. 5 table.
+
+    Renders from one trace artifact (events + summary + embedded telemetry
+    payload); sections with no data are omitted, so the report degrades
+    gracefully on traces from runs with telemetry off.
+    """
+    sections: list[str] = []
+
+    points = telemetry.get("points", [])
+    if points:
+        rows = []
+        for p in points:
+            hist = p.get("error_history") or []
+            err = p.get("error")
+            rows.append([
+                p.get("index", ""),
+                f"{p['omega']:.4f}" if p.get("omega") is not None else "-",
+                f"{p['seconds']:.2f}" if p.get("seconds") is not None else "-",
+                p.get("iterations", "-"),
+                "yes" if p.get("converged") else "no",
+                f"{err:.2e}" if isinstance(err, (int, float)) else "-",
+                _svg_sparkline(hist),
+            ])
+        sections.append(_html_table(
+            ["k", "omega", "seconds", "iters", "converged", "error",
+             "residual decay"],
+            rows, "Quadrature sweep (per-frequency convergence)"))
+
+    bd = kernel_breakdown(events, kernels=FIG5_KERNELS)
+    if bd:
+        ordered = [k for k in FIG5_KERNELS if k in bd]
+        total = sum(bd[k]["seconds"] for k in ordered)
+        rows = [[k, f"{bd[k]['seconds']:.4f}",
+                 f"{100.0 * bd[k]['seconds'] / total:.1f}%" if total else "-",
+                 bd[k]["count"]] for k in ordered]
+        rows.append(["total", f"{total:.4f}", "100.0%",
+                     sum(bd[k]["count"] for k in ordered)])
+        sections.append(_html_table(
+            ["kernel", "seconds", "share", "spans"], rows,
+            "Figure 5-style kernel breakdown (slowest rank per kernel)"))
+
+    counters = dict(summary.get("counters", {}))
+    for name, value in telemetry.get("counters", {}).items():
+        counters[f"telemetry.{name}"] = value
+    health_rows = [[name, int(value)] for name, value in sorted(counters.items())
+                   if any(tag in name for tag in HEALTH_COUNTER_GROUPS)]
+    if health_rows:
+        sections.append(_html_table(
+            ["counter", "value"], health_rows,
+            "Run health (escalations, recycling, verification)"))
+
+    gauge_stats = summary.get("gauge_stats", {})
+    if gauge_stats:
+        rows = [[name, st["count"], f"{st['min']:.3e}", f"{st['max']:.3e}",
+                 f"{st.get('mean', st['sum'] / st['count']):.3e}"]
+                for name, st in sorted(gauge_stats.items()) if st.get("count")]
+        sections.append(_html_table(
+            ["gauge", "count", "min", "max", "mean"], rows,
+            "Gauge aggregates"))
+
+    aggregates = telemetry.get("aggregates", [])
+    if aggregates:
+        rows = [[("-" if a.get("orbital") is None else a["orbital"]),
+                 ("-" if a.get("omega") is None else f"{a['omega']:.4f}"),
+                 a.get("n_solves", 0), a.get("iterations", 0),
+                 a.get("n_matvec", 0), a.get("n_unconverged", 0),
+                 a.get("max_attempt", 0),
+                 ("-" if a.get("worst_decay_rate") is None
+                  else f"{a['worst_decay_rate']:.3f}")]
+                for a in aggregates]
+        sections.append(_html_table(
+            ["orbital", "omega", "solves", "iters", "matvecs", "unconv",
+             "max attempt", "worst decay"],
+            rows, "Per-(orbital, omega) solve aggregates"))
+
+    body = "\n".join(sections) if sections else "<p>No data in trace.</p>"
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8">
+<title>repro run report — {_html_escape(source)}</title>
+<style>
+body {{ font-family: system-ui, sans-serif; margin: 2em; color: #111; }}
+h1 {{ font-size: 1.3em; }} h2 {{ font-size: 1.05em; margin-top: 1.6em; }}
+table {{ border-collapse: collapse; font-size: 0.85em; }}
+th, td {{ border: 1px solid #cbd5e1; padding: 0.25em 0.6em; text-align: right; }}
+th {{ background: #f1f5f9; }}
+td:first-child, th:first-child {{ text-align: left; }}
+svg.spark {{ vertical-align: middle; }}
+</style></head><body>
+<h1>repro run report — {_html_escape(source)}</h1>
+{body}
+</body></html>
+"""
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
@@ -159,6 +320,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="restrict to one timeline: wall | virtual (default: all)")
     parser.add_argument("--all", action="store_true",
                         help="tabulate every span name, not just the Fig. 5 kernels")
+    parser.add_argument("--html", default=None, metavar="FILE",
+                        help="additionally write a self-contained HTML report "
+                             "(per-frequency sparklines + kernel breakdown + "
+                             "run-health counters) to FILE")
     args = parser.parse_args(argv)
 
     try:
@@ -181,10 +346,20 @@ def main(argv: list[str] | None = None) -> int:
         print("note: no Fig. 5 kernel spans in this trace; rerun with --all "
               "to list every span name", file=sys.stderr)
     print(table)
-    recycle = recycle_table(load_summary(args.trace))
+    summary = load_summary(args.trace)
+    recycle = recycle_table(summary)
     if recycle is not None:
         print()
         print(recycle)
+    if args.html:
+        try:
+            telemetry = read_telemetry(args.trace)
+        except (OSError, json.JSONDecodeError):
+            telemetry = {}
+        html_path = Path(args.html)
+        html_path.write_text(render_html(events, summary, telemetry,
+                                         source=str(args.trace)))
+        print(f"wrote HTML report {html_path}", file=sys.stderr)
     return 0
 
 

@@ -121,6 +121,10 @@ class Tracer:
         self.events: list[dict] = []
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
+        # Per-gauge min/max/sum/count aggregates: a gauge's last value alone
+        # is near-meaningless across a run (e.g. recycle_guess_residual is
+        # sampled hundreds of times); reports want the distribution.
+        self.gauge_stats: dict[str, dict] = {}
         self.buckets: dict[str, float] = {}
         self.counts: dict[str, int] = {}
         self._stack: list[str] = []
@@ -194,8 +198,25 @@ class Tracer:
 
     def gauge(self, name: str, value: float, rank: int | None = None,
               **attrs) -> None:
-        """Sample a point-in-time value (residual norm, subspace error, ...)."""
-        self.gauges[name] = float(value)
+        """Sample a point-in-time value (residual norm, subspace error, ...).
+
+        Keeps the last value in ``gauges`` (legacy behaviour) and folds the
+        sample into ``gauge_stats[name]`` (min/max/sum/count) so the full
+        distribution survives the run.
+        """
+        value = float(value)
+        self.gauges[name] = value
+        st = self.gauge_stats.get(name)
+        if st is None:
+            self.gauge_stats[name] = {"min": value, "max": value,
+                                      "sum": value, "count": 1}
+        else:
+            if value < st["min"]:
+                st["min"] = value
+            if value > st["max"]:
+                st["max"] = value
+            st["sum"] += value
+            st["count"] += 1
         self.events.append({
             "type": "gauge",
             "name": name,
@@ -231,10 +252,53 @@ class Tracer:
         return {
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
+            "gauge_stats": {
+                name: {**st, "mean": st["sum"] / st["count"]}
+                for name, st in self.gauge_stats.items()
+            },
             "buckets": dict(self.buckets),
             "bucket_counts": dict(self.counts),
             "n_events": len(self.events),
         }
+
+    # -- cross-process merge ---------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Picklable snapshot for shipping a child process's trace home."""
+        return {
+            "events": list(self.events),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "gauge_stats": {k: dict(v) for k, v in self.gauge_stats.items()},
+            "buckets": dict(self.buckets),
+            "counts": dict(self.counts),
+        }
+
+    def absorb(self, state: dict) -> None:
+        """Fold a child tracer's :meth:`export_state` into this one.
+
+        Counters, buckets and gauge aggregates merge exactly; events are
+        appended as-is (their ``ts`` stamps are on the child's timeline
+        origin, fine for counting and attribute analysis, approximate for
+        cross-process time alignment).
+        """
+        self.events.extend(state.get("events", []))
+        for name, value in state.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0.0) + value
+        self.gauges.update(state.get("gauges", {}))
+        for name, theirs in state.get("gauge_stats", {}).items():
+            st = self.gauge_stats.get(name)
+            if st is None:
+                self.gauge_stats[name] = dict(theirs)
+            else:
+                st["min"] = min(st["min"], theirs["min"])
+                st["max"] = max(st["max"], theirs["max"])
+                st["sum"] += theirs["sum"]
+                st["count"] += theirs["count"]
+        for name, seconds in state.get("buckets", {}).items():
+            self.buckets[name] = self.buckets.get(name, 0.0) + seconds
+        for name, count in state.get("counts", {}).items():
+            self.counts[name] = self.counts.get(name, 0) + count
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Tracer(domain={self.domain!r}, events={len(self.events)}, "
@@ -254,6 +318,7 @@ class NullTracer:
     events: list[dict] = []  # intentionally shared and always empty
     counters: dict[str, float] = {}
     gauges: dict[str, float] = {}
+    gauge_stats: dict[str, dict] = {}
     buckets: dict[str, float] = {}
     counts: dict[str, int] = {}
 
@@ -291,8 +356,14 @@ class NullTracer:
         return KernelTimers()
 
     def metrics(self) -> dict:
-        return {"counters": {}, "gauges": {}, "buckets": {},
+        return {"counters": {}, "gauges": {}, "gauge_stats": {}, "buckets": {},
                 "bucket_counts": {}, "n_events": 0}
+
+    def export_state(self) -> dict:
+        return {}
+
+    def absorb(self, state: dict) -> None:
+        pass
 
 
 #: The process-wide disabled tracer (shared; never records anything).

@@ -27,7 +27,11 @@ class ThreadedChi0Operator(Chi0Operator):
     All other parameters follow :class:`repro.core.sternheimer.Chi0Operator`.
     Statistics are aggregated with a lock-free per-task pattern: each task
     records into its own ``SternheimerStats`` which are merged afterwards,
-    so totals are deterministic even under concurrency.
+    so totals are deterministic even under concurrency. Convergence
+    telemetry needs no such merging here: all worker threads share the one
+    active ``ConvergenceRecorder``, whose ring/counter updates are
+    lock-guarded and whose (orbital, ω) scopes are thread-local, so
+    concurrent orbitals cannot cross-label each other's records.
     """
 
     def __init__(self, *args, n_workers: int | None = None, **kwargs) -> None:

@@ -26,12 +26,14 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import wait as futures_wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import ExitStack
 from typing import Callable
 
 import numpy as np
 
 from repro.core.sternheimer import Chi0Operator, SternheimerStats
-from repro.obs.tracer import get_tracer
+from repro.obs.telemetry import ConvergenceRecorder, get_recorder, use_recorder
+from repro.obs.tracer import Tracer, get_tracer, use_tracer
 
 
 class WorkerRecoveryError(RuntimeError):
@@ -59,8 +61,30 @@ def _solve_orbital_task(args: tuple[int, np.ndarray, float, np.ndarray | None]):
     # stores would be lost with the process; guesses are computed parent-side
     # and shipped in the task args, stores happen parent-side on the results.
     _WORKER_OP.recycler = None
-    y = _WORKER_OP._solve_orbital(j, V, omega, x0=x0)
-    return j, y, _WORKER_OP.stats
+    # Same story for the tracer/recorder: the inherited singletons are dead
+    # snapshots. Record into fresh per-task instances and ship their
+    # payloads home with the result; the parent folds each orbital's
+    # payload in exactly once (results are keyed by orbital, so pool
+    # restarts and resubmissions cannot double-count).
+    parent_recorder = get_recorder()
+    parent_tracer = get_tracer()
+    obs: dict | None = None
+    with ExitStack() as stack:
+        recorder = tracer = None
+        if parent_recorder.enabled:
+            recorder = stack.enter_context(
+                use_recorder(ConvergenceRecorder(level=parent_recorder.level))
+            )
+        if parent_tracer.enabled:
+            tracer = stack.enter_context(use_tracer(Tracer()))
+        y = _WORKER_OP._solve_orbital(j, V, omega, x0=x0)
+        if recorder is not None or tracer is not None:
+            obs = {}
+            if recorder is not None:
+                obs["telemetry"] = recorder.payload()
+            if tracer is not None:
+                obs["trace"] = tracer.export_state()
+    return j, y, _WORKER_OP.stats, obs
 
 
 class ProcessChi0Operator(Chi0Operator):
@@ -145,15 +169,28 @@ class ProcessChi0Operator(Chi0Operator):
         results = self._solve_all_orbitals(V, omega)
         acc = np.zeros((self.n_points, V.shape[1]), dtype=complex)
         for j in sorted(results):
-            y, stats = results[j]
+            y, stats, obs = results[j]
             acc += self.psi[:, j : j + 1] * y
             self.stats.merge(stats)
+            self._merge_child_obs(obs)
             if self.recycler is not None:
                 # Parent-side store: the worker's recycler copy died with it.
                 self.recycler.store(j, omega, y,
                                     converged=stats.n_unconverged == 0)
         out = 4.0 * acc.real
         return out[:, 0] if squeeze else out
+
+    @staticmethod
+    def _merge_child_obs(obs: dict | None) -> None:
+        """Fold one worker task's observability payload into the parent."""
+        if not obs:
+            return
+        recorder = get_recorder()
+        if recorder.enabled and obs.get("telemetry"):
+            recorder.merge(obs["telemetry"])
+        tracer = get_tracer()
+        if tracer.enabled and obs.get("trace"):
+            tracer.absorb(obs["trace"])
 
     def _solve_all_orbitals(self, V: np.ndarray, omega: float) -> dict:
         """Fan the orbital solves out, recovering from dead workers.
@@ -163,7 +200,7 @@ class ProcessChi0Operator(Chi0Operator):
         """
         tracer = get_tracer()
         pending = set(range(self.n_occupied))
-        results: dict[int, tuple[np.ndarray, SternheimerStats]] = {}
+        results: dict[int, tuple[np.ndarray, SternheimerStats, dict | None]] = {}
         # Guesses are looked up once per orbital (not per resubmission, so a
         # pool restart cannot double-count cache hits) and ride along in the
         # task arguments; a miss ships None and the worker falls back to its
@@ -188,8 +225,8 @@ class ProcessChi0Operator(Chi0Operator):
                     broken = True
                     continue
                 if exc is None:
-                    jj, y, stats = fut.result()
-                    results[jj] = (y, stats)
+                    jj, y, stats, obs = fut.result()
+                    results[jj] = (y, stats, obs)
                     pending.discard(jj)
                 elif isinstance(exc, BrokenProcessPool):
                     broken = True

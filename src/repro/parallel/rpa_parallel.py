@@ -50,6 +50,7 @@ from repro.parallel.distribution import (
     BlockColumnDistribution,
     block_cyclic_redistribution_bytes,
 )
+from repro.obs.telemetry import get_recorder, recorder_for_level, use_recorder
 from repro.obs.tracer import get_tracer
 from repro.parallel.virtual_clock import VirtualClocks
 from repro.utils.rng import default_rng
@@ -91,6 +92,7 @@ class ParallelRPAResult:
     n_rank_failures: int = 0
     recycle: object | None = None  # RecycleStats when config.use_recycling
     verify: dict | None = None  # Verifier.summary() (None = verification off)
+    telemetry: dict | None = None  # ConvergenceRecorder.payload() (None = off)
 
     @property
     def converged(self) -> bool:
@@ -230,17 +232,21 @@ def compute_rpa_energy_parallel(
         """One distributed symmetrized apply; charges per-rank clocks."""
         W = np.empty_like(V)
         durations = np.zeros(n_ranks)
+        recorder = get_recorder()
         for r, slices in assignment.items():
             t0 = time.perf_counter()
-            for sl in slices:
-                if recycler is not None:
-                    # Each rank solves a disjoint column slice of the same
-                    # block; scope the cache to global column offsets so
-                    # full-width entries assemble coherently across ranks.
-                    with recycler.columns(sl.start, sl.stop):
+            # Telemetry records from this rank's solves carry its rank tag,
+            # so per-rank convergence behaviour stays separable post-merge.
+            with recorder.rank_scope(r):
+                for sl in slices:
+                    if recycler is not None:
+                        # Each rank solves a disjoint column slice of the same
+                        # block; scope the cache to global column offsets so
+                        # full-width entries assemble coherently across ranks.
+                        with recycler.columns(sl.start, sl.stop):
+                            W[:, sl] = chi0op.apply_symmetrized(V[:, sl], omega)
+                    else:
                         W[:, sl] = chi0op.apply_symmetrized(V[:, sl], omega)
-                else:
-                    W[:, sl] = chi0op.apply_symmetrized(V[:, sl], omega)
             durations[r] = time.perf_counter() - t0
             phases.clocks.advance(r, durations[r], label="chi0_apply")
         phases.last_apply_per_rank = durations
@@ -266,6 +272,14 @@ def compute_rpa_energy_parallel(
             )
         if verifier.enabled:
             verifier.check_quadrature(quad)
+        # Telemetry mirrors the serial driver's install-unless-active rule.
+        recorder = get_recorder()
+        if config.telemetry_level != "off" and not recorder.enabled:
+            recorder = stack.enter_context(
+                use_recorder(recorder_for_level(config.telemetry_level))
+            )
+        if recorder.enabled:
+            recorder.sweep_started(len(quad))
         stack.enter_context(
             tracer.span("rpa_energy_parallel", system=dft.crystal.label,
                         n_ranks=n_ranks, n_eig=config.n_eig,
@@ -278,7 +292,10 @@ def compute_rpa_energy_parallel(
             omega = float(quad.points[k - 1])
             weight = float(quad.weights[k - 1])
             t_point0 = phases.clocks.elapsed
-            vals, V, converged, iters = _parallel_subspace(
+            t_wall0 = time.perf_counter()
+            if recorder.enabled:
+                recorder.point_started(k, omega)
+            vals, V, converged, iters, err_history = _parallel_subspace(
                 rankwise_apply,
                 V,
                 omega,
@@ -295,6 +312,14 @@ def compute_rpa_energy_parallel(
                 verifier.check_trace_identity(vals, e_k, index=k, omega=omega)
             energy += weight * e_k / (2.0 * np.pi)
             simulated = phases.clocks.elapsed - t_point0
+            if recorder.enabled:
+                recorder.point_finished(
+                    k, omega=omega, seconds=time.perf_counter() - t_wall0,
+                    energy_term=e_k, converged=converged, iterations=iters,
+                    error=err_history[-1] if err_history else None,
+                    error_history=err_history,
+                    simulated_seconds=simulated,
+                )
             if tracer.enabled:
                 # One top-row span per quadrature point on the virtual
                 # timeline, spanning all ranks (rank=None).
@@ -332,6 +357,7 @@ def compute_rpa_energy_parallel(
         n_rank_failures=n_rank_failures,
         recycle=recycler.stats if recycler is not None else None,
         verify=verifier.summary() if verifier.enabled else None,
+        telemetry=recorder.payload() if recorder.enabled else None,
     )
 
 
@@ -351,14 +377,16 @@ def _parallel_subspace(
     on_rotation=None,
 ):
     verifier = get_verifier()
+    errors: list[float] = []
     W = rankwise_apply(V, omega)
     vals, V, W = _parallel_rayleigh_ritz(V, W, phases, machine, p,
                                          on_rotation=on_rotation)
     err = _parallel_eq7(V, W, vals, phases, machine, p)
+    errors.append(err)
     if verifier.enabled:
         verifier.check_ritz_values(vals, err, driver="parallel", iteration=0)
     if err <= tol:
-        return vals, V, True, 0
+        return vals, V, True, 0, errors
 
     for it in range(1, max_iterations + 1):
         low, cut, high = _filter_bounds(vals)
@@ -367,11 +395,12 @@ def _parallel_subspace(
         vals, V, W = _parallel_rayleigh_ritz(V, W, phases, machine, p,
                                              on_rotation=on_rotation)
         err = _parallel_eq7(V, W, vals, phases, machine, p)
+        errors.append(err)
         if verifier.enabled:
             verifier.check_ritz_values(vals, err, driver="parallel", iteration=it)
         if err <= tol:
-            return vals, V, True, it
-    return vals, V, False, max_iterations
+            return vals, V, True, it, errors
+    return vals, V, False, max_iterations, errors
 
 
 def _filter_bounds(vals: np.ndarray) -> tuple[float, float, float]:

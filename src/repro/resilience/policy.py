@@ -28,6 +28,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.config import ResilienceConfig
+from repro.obs.telemetry import get_recorder
 from repro.obs.tracer import get_tracer
 from repro.solvers.block_cocg import block_cocg_solve
 from repro.solvers.block_cocg_bf import block_cocg_bf_solve
@@ -211,6 +212,15 @@ def resilient_solve(
             op = CountingOperator(A, A.n)
 
         def _run() -> SolveResult:
+            # Label the stage's solver records with this chain position so
+            # telemetry can distinguish retries from first attempts.
+            recorder = get_recorder()
+            if not recorder.enabled:
+                return _run_stage()
+            with recorder.attempt_scope(idx, stage.name):
+                return _run_stage()
+
+        def _run_stage() -> SolveResult:
             return stage.solver(
                 op, B, x0=guess, tol=tol, max_iterations=stage_cap, n=n_rows,
                 **({"preconditioner": preconditioner} if preconditioner is not None else {}),

@@ -32,6 +32,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs.telemetry import get_recorder, record_solves
 from repro.obs.tracer import get_tracer
 from repro.solvers.linear_operator import as_operator
 from repro.solvers.stats import SolveResult
@@ -42,6 +43,7 @@ _SMALL_RCOND = 1e-14
 _STAGNATION_WINDOW = 40
 
 
+@record_solves("block_cocg")
 def block_cocg_solve(
     a,
     b: np.ndarray,
@@ -112,6 +114,27 @@ def block_cocg_solve(
     tracer = get_tracer()
     t_solve = tracer.now() if tracer.enabled else 0.0
 
+    # Full-level telemetry tracks each column's first tolerance crossing
+    # (the per-column convergence iteration); the recurrence itself never
+    # reads these, so the numerics are untouched at any level.
+    recorder = get_recorder()
+    track_cols = recorder.enabled and recorder.full and s > 1
+    if track_cols:
+        col_b_norms = np.linalg.norm(b, axis=0)
+        col_b_norms = np.where(col_b_norms == 0.0, 1.0, col_b_norms)
+        # Compare squared norms against (tol * ||b_j||)^2: no sqrt, and the
+        # einsum below avoids the |R| temporary linalg.norm would allocate.
+        col_tol_sq = (tol * col_b_norms) ** 2
+        col_first = np.full(s, -1, dtype=int)
+
+    def _mark_columns(iteration: int, residual_block: np.ndarray) -> None:
+        pending = col_first < 0
+        if not pending.any():
+            return
+        col_sq = np.einsum("ij,ij->j", residual_block.conj(),
+                           residual_block).real
+        col_first[pending & (col_sq <= col_tol_sq)] = iteration
+
     def _result(converged: bool, iterations: int, history, breakdown: bool = False) -> SolveResult:
         sol = best_Y if breakdown else Y
         sol_out = sol[:, 0] if squeeze else sol
@@ -134,11 +157,16 @@ def block_cocg_solve(
             n_matvec=A.n_applies,
             block_size=s,
             breakdown=breakdown,
+            per_column_iterations=(
+                [int(v) for v in col_first] if track_cols else None
+            ),
         )
 
     W = b - A(Y) if x0 is not None else b.copy()
     history = [float(np.linalg.norm(W)) / b_norm]
     best_res = history[-1]
+    if track_cols:
+        _mark_columns(0, W)
     if history[-1] <= tol:
         return _result(True, 0, history)
 
@@ -161,6 +189,8 @@ def block_cocg_solve(
         if tracer.enabled:
             tracer.record("cocg_iteration", t_iter, iteration=it,
                           block_size=s, residual=rel)
+        if track_cols and np.isfinite(rel):
+            _mark_columns(it, W)
         if not np.isfinite(rel):
             return _result(False, it, history, breakdown=True)
         if rel < best_res:

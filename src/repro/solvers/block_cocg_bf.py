@@ -22,10 +22,12 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs.telemetry import get_recorder, record_solves
 from repro.solvers.linear_operator import as_operator
 from repro.solvers.stats import SolveResult
 
 
+@record_solves("block_cocg_bf")
 def block_cocg_bf_solve(
     a,
     b: np.ndarray,
@@ -73,14 +75,38 @@ def block_cocg_bf_solve(
 
     M = preconditioner if preconditioner is not None else (lambda v: v)
 
+    # Full-level telemetry: per-column first tolerance crossing (read-only
+    # on the residual block, numerics untouched).
+    recorder = get_recorder()
+    track_cols = recorder.enabled and recorder.full and s > 1
+    if track_cols:
+        col_b_norms = np.linalg.norm(b, axis=0)
+        col_b_norms = np.where(col_b_norms == 0.0, 1.0, col_b_norms)
+        # Squared-norm comparison (see block_cocg): no sqrt, no |R| temp.
+        col_tol_sq = (tol * col_b_norms) ** 2
+        col_first = np.full(s, -1, dtype=int)
+
+    def _mark_columns(iteration: int, residual_block: np.ndarray) -> None:
+        pending = col_first < 0
+        if not pending.any():
+            return
+        col_sq = np.einsum("ij,ij->j", residual_block.conj(),
+                           residual_block).real
+        col_first[pending & (col_sq <= col_tol_sq)] = iteration
+
     def _result(converged: bool, it: int, history, breakdown: bool = False) -> SolveResult:
         sol = Y[:, 0] if squeeze else Y
         return SolveResult(
             sol, converged, it, history[-1], history,
             n_matvec=A.n_applies, block_size=s, breakdown=breakdown,
+            per_column_iterations=(
+                [int(v) for v in col_first] if track_cols else None
+            ),
         )
 
     history = [float(np.linalg.norm(R)) / b_norm]
+    if track_cols:
+        _mark_columns(0, R)
     if history[-1] <= tol:
         return _result(True, 0, history)
 
@@ -101,6 +127,8 @@ def block_cocg_bf_solve(
         history.append(rel)
         if not np.isfinite(rel):
             return _result(False, it, history, breakdown=True)
+        if track_cols:
+            _mark_columns(it, R)
         if rel <= tol:
             return _result(True, it, history)
         Z = M(R)

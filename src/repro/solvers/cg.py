@@ -8,10 +8,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.telemetry import record_solves
 from repro.solvers.linear_operator import as_operator
 from repro.solvers.stats import SolveResult
 
 
+@record_solves("cg")
 def cg_solve(
     a,
     b: np.ndarray,

@@ -19,12 +19,14 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs.telemetry import record_solves
 from repro.solvers.linear_operator import as_operator
 from repro.solvers.stats import SolveResult
 
 _BREAKDOWN_EPS = 1e-300
 
 
+@record_solves("cocg")
 def cocg_solve(
     a,
     b: np.ndarray,

@@ -11,10 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.telemetry import record_solves
 from repro.solvers.linear_operator import as_operator
 from repro.solvers.stats import SolveResult
 
 
+@record_solves("gmres")
 def gmres_solve(
     a,
     b: np.ndarray,

@@ -31,6 +31,10 @@ class SolveResult:
     breakdown:
         True when a short-recurrence breakdown (singular small matrix) was
         detected and the solver exited early.
+    per_column_iterations:
+        Optional per-column first-convergence iteration (``-1`` for columns
+        that never crossed the tolerance). Populated by the block solvers
+        only at full telemetry level; ``None`` otherwise.
     """
 
     solution: np.ndarray
@@ -41,6 +45,7 @@ class SolveResult:
     n_matvec: int = 0
     block_size: int = 1
     breakdown: bool = False
+    per_column_iterations: list[int] | None = None
 
     def __post_init__(self) -> None:
         if self.iterations < 0:

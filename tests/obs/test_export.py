@@ -77,7 +77,10 @@ class TestChromeTrace:
         virt = next(e for e in spans if e["name"] == "virt")
         assert virt["ts"] == pytest.approx(1.0e6)
         assert virt["dur"] == pytest.approx(2.0e6)
-        assert virt["tid"] == 1
+        # Rank r exports as tid r+1; tid 0 is reserved for rank-less events.
+        assert virt["tid"] == 2
+        outer = next(e for e in spans if e["name"] == "outer")
+        assert outer["tid"] == 0
 
     def test_rank_threads_named(self, traced):
         out = chrome_trace_events(traced.events)
@@ -105,6 +108,30 @@ class TestChromeTrace:
     def test_write_accepts_event_list(self, traced, tmp_path):
         path = write_chrome_trace(traced.events, tmp_path / "l.json")
         assert read_chrome_trace(path)
+
+    def test_two_rank_trace_round_trip(self, tmp_path):
+        # Regression: concurrent ranks plus a rank-less orchestrator span
+        # must land on three distinct tids (rank 0 used to collide with the
+        # rank-less track on tid 0) and survive a round trip.
+        tr = Tracer(clock=FakeClock(0.5))
+        tr.record("solve_r0", 0.0, duration=1.0, rank=0, domain="virtual")
+        tr.record("solve_r1", 0.0, duration=2.0, rank=1, domain="virtual")
+        tr.record("omega_point", 0.0, duration=2.5, domain="virtual", index=1)
+        out = chrome_trace_events(tr.events)
+        spans = {e["name"]: e for e in out if e["ph"] == "X"}
+        tids = {spans[n]["tid"] for n in ("solve_r0", "solve_r1", "omega_point")}
+        assert len(tids) == 3
+        assert spans["omega_point"]["tid"] == 0
+        threads = {e["tid"]: e["args"]["name"] for e in out
+                   if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert threads[0] == "main"
+        assert threads[spans["solve_r0"]["tid"]] == "rank 0"
+        assert threads[spans["solve_r1"]["tid"]] == "rank 1"
+        path = write_chrome_trace(tr, tmp_path / "two_rank.json")
+        by_name = {e["name"]: e for e in read_chrome_trace(path)}
+        assert by_name["solve_r0"]["rank"] == 0
+        assert by_name["solve_r1"]["rank"] == 1
+        assert by_name["omega_point"]["rank"] is None
 
 
 class TestMetricsAndManifest:

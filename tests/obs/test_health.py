@@ -1,0 +1,165 @@
+"""Run-health analytics: decay fits, classification, ETA, dashboard."""
+
+import io
+import math
+import time
+
+import pytest
+
+from repro.obs.health import (
+    DecayEstimator,
+    RunMonitor,
+    classify_history,
+    fit_decay_rate,
+    sparkline,
+    sweep_eta,
+)
+from repro.obs.telemetry import ConvergenceRecorder
+
+
+def geometric(q, n=12, r0=1.0):
+    return [r0 * q**k for k in range(n)]
+
+
+class TestFitDecayRate:
+    def test_exact_geometric(self):
+        assert fit_decay_rate(geometric(0.5)) == pytest.approx(0.5)
+        assert fit_decay_rate(geometric(0.9)) == pytest.approx(0.9)
+
+    def test_flat_history(self):
+        assert fit_decay_rate([1.0] * 8) == pytest.approx(1.0)
+
+    def test_growing_history(self):
+        assert fit_decay_rate(geometric(1.5, n=6)) == pytest.approx(1.5)
+
+    def test_too_short_or_degenerate(self):
+        assert math.isnan(fit_decay_rate([]))
+        assert math.isnan(fit_decay_rate([1.0]))
+        assert math.isnan(fit_decay_rate([0.0, 0.0]))
+        assert math.isnan(fit_decay_rate([float("nan"), float("inf")]))
+
+    def test_robust_to_nonpositive_entries(self):
+        hist = geometric(0.5)
+        hist[3] = 0.0  # breakdown marker mid-history
+        assert fit_decay_rate(hist) == pytest.approx(0.5)
+
+
+class TestDecayEstimator:
+    def test_matches_geometric_fit(self):
+        est = DecayEstimator()
+        for r in geometric(0.7):
+            est.update(r)
+        assert est.rate == pytest.approx(0.7)
+
+    def test_nan_before_two_samples(self):
+        est = DecayEstimator()
+        assert math.isnan(est.rate)
+        est.update(1.0)
+        assert math.isnan(est.rate)
+
+    def test_resets_across_invalid_samples(self):
+        est = DecayEstimator()
+        est.update(1.0)
+        est.update(float("nan"))
+        est.update(4.0)  # no ratio across the gap
+        est.update(2.0)
+        assert est.rate == pytest.approx(0.5)
+
+
+class TestClassify:
+    def test_converged_by_tol(self):
+        assert classify_history(geometric(0.5), tol=1e-2) == "converged"
+
+    def test_converging(self):
+        assert classify_history(geometric(0.5), tol=1e-12) == "converging"
+
+    def test_stagnating(self):
+        assert classify_history(geometric(0.999, n=20)) == "stagnating"
+
+    def test_diverging(self):
+        assert classify_history(geometric(1.5, n=10)) == "diverging"
+
+    def test_unknown(self):
+        assert classify_history([]) == "unknown"
+        assert classify_history([1.0]) == "unknown"
+
+    def test_trailing_window_sees_late_stagnation(self):
+        hist = geometric(0.3, n=6) + [1e-3] * 10
+        assert classify_history(hist) == "stagnating"
+
+
+class TestSweepEta:
+    def test_basic_prediction(self):
+        points = [{"seconds": 2.0}, {"seconds": 4.0}]
+        eta = sweep_eta(points, 5)
+        assert eta["n_done"] == 2
+        assert eta["per_point_seconds"] == pytest.approx(3.0)
+        assert eta["eta_seconds"] == pytest.approx(9.0)
+
+    def test_trailing_window(self):
+        points = [{"seconds": 100.0}] + [{"seconds": 1.0}] * 3
+        eta = sweep_eta(points, 8, window=3)
+        assert eta["per_point_seconds"] == pytest.approx(1.0)
+
+    def test_unpredictable(self):
+        assert sweep_eta([], 4)["eta_seconds"] is None
+        assert sweep_eta([{"seconds": 1.0}], None)["eta_seconds"] is None
+        assert sweep_eta([{"seconds": None}], 4)["n_done"] == 0
+
+
+class TestSparkline:
+    def test_monotone_decay_descends(self):
+        s = sparkline(geometric(0.1, n=8))
+        assert len(s) == 8
+        assert s[0] == "█" and s[-1] == "▁"
+
+    def test_nonpositive_render_as_spaces(self):
+        s = sparkline([1.0, 0.0, 0.1])
+        assert s[1] == " "
+
+    def test_degenerate(self):
+        assert sparkline([]) == ""
+        assert sparkline([0.0, 0.0]) == "  "
+        assert len(sparkline([2.0, 2.0])) == 2
+
+
+class TestRunMonitor:
+    def _recorder(self):
+        rec = ConvergenceRecorder()
+        rec.sweep_started(3)
+        rec.point_finished(0, omega=0.5, seconds=1.5, converged=True,
+                          iterations=4, error=1e-8,
+                          error_history=geometric(0.5, n=6))
+        rec.point_started(1, 0.25)
+        with rec.solve_scope(orbital=0, omega=0.5):
+            import numpy as np
+
+            from repro.solvers.stats import SolveResult
+
+            rec.record_solve("cg", SolveResult(
+                solution=np.zeros(1), converged=True, iterations=3,
+                residual_norm=1e-9, residual_history=[1.0, 1e-9], n_matvec=3))
+        return rec
+
+    def test_render_contents(self):
+        frame = RunMonitor(self._recorder()).render()
+        assert "1/3 omega points" in frame
+        assert "ETA" in frame
+        assert "0.5000" in frame and "converged" in frame
+        assert "running" in frame
+        assert "solves 1" in frame and "matvecs 3" in frame
+        assert "█" in frame  # sparkline present
+
+    def test_start_stop_emits_frames(self):
+        stream = io.StringIO()
+        mon = RunMonitor(self._recorder(), stream=stream, interval=0.01)
+        with mon:
+            time.sleep(0.08)
+        out = stream.getvalue()
+        assert out.count("omega points") >= 2  # periodic + final frame
+        assert mon._thread is None
+
+    def test_render_empty_recorder(self):
+        frame = RunMonitor(ConvergenceRecorder()).render()
+        assert "0 omega points" in frame
+        assert "solves 0" in frame

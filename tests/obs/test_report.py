@@ -102,3 +102,81 @@ class TestLoadEventsAndCli:
         empty = tmp_path / "empty.jsonl"
         empty.write_text("")
         assert main([str(empty)]) == 1
+
+
+class TestRecycleGaugeStats:
+    def test_gauge_stats_rows_rendered(self):
+        from repro.obs.report import recycle_table
+
+        summary = {
+            "counters": {"recycle_hits": 10, "recycle_misses": 2},
+            "gauge_stats": {"recycle_guess_residual": {
+                "min": 1e-4, "max": 0.8, "sum": 1.6, "count": 4}},
+        }
+        table = recycle_table(summary)
+        assert "recycle_guess_residual.min" in table
+        assert "recycle_guess_residual.mean" in table
+        assert "4.000e-01" in table  # mean = 1.6 / 4
+        assert "recycle_guess_residual.count" in table
+
+    def test_old_traces_without_gauge_stats(self):
+        from repro.obs.report import recycle_table
+
+        table = recycle_table({"counters": {"recycle_hits": 3}})
+        assert "recycle_hits" in table
+        assert "recycle_guess_residual" not in table
+        assert recycle_table({"counters": {}}) is None
+
+
+class TestHtmlReport:
+    @pytest.fixture
+    def full_trace(self, tmp_path):
+        from repro.obs.telemetry import ConvergenceRecorder
+
+        tr = Tracer(clock=FakeClock(0.25))
+        with tr.region("chi0_apply"):
+            pass
+        tr.gauge("recycle_guess_residual", 0.02)
+        rec = ConvergenceRecorder()
+        rec.sweep_started(2)
+        for k, omega in enumerate((0.5, 0.125)):
+            rec.point_finished(k, omega=omega, seconds=1.0, converged=True,
+                              iterations=3, error=1e-8,
+                              error_history=[1.0, 0.1, 0.01, 1e-8])
+        with rec.solve_scope(orbital=0, omega=0.5):
+            import numpy as np
+
+            from repro.solvers.stats import SolveResult
+
+            rec.record_solve("cg", SolveResult(
+                solution=np.zeros(1), converged=True, iterations=2,
+                residual_norm=1e-9, residual_history=[1.0, 1e-9], n_matvec=2))
+        return write_jsonl(tr, tmp_path / "t.jsonl", telemetry=rec.payload())
+
+    def test_html_report_end_to_end(self, full_trace, tmp_path, capsys):
+        out = tmp_path / "report.html"
+        assert main([str(full_trace), "--html", str(out)]) == 0
+        html = out.read_text()
+        assert html.count("<svg") >= 2  # one sparkline per omega point
+        assert "0.5000" in html and "0.1250" in html
+        assert "chi0_apply" in html
+        assert "Run health" in html and "telemetry.solves" in html
+        assert "recycle_guess_residual" in html  # gauge aggregates section
+        assert "Per-(orbital, omega)" in html
+
+    def test_html_degrades_without_telemetry(self, tmp_path, capsys):
+        tr = Tracer(clock=FakeClock(0.25))
+        with tr.region("chi0_apply"):
+            pass
+        path = write_jsonl(tr, tmp_path / "t.jsonl")
+        out = tmp_path / "report.html"
+        assert main([str(path), "--html", str(out)]) == 0
+        html = out.read_text()
+        assert "Figure 5" in html
+        assert "Quadrature sweep" not in html
+
+    def test_render_html_empty(self):
+        from repro.obs.report import render_html
+
+        html = render_html([], {}, {}, source="x")
+        assert "No data" in html

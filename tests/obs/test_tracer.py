@@ -88,6 +88,18 @@ class TestCountersAndGauges:
         assert tr.gauges["residual"] == 0.25
         assert [e["value"] for e in tr.events] == [0.5, 0.25]
 
+    def test_gauge_stats_aggregates(self):
+        tr = Tracer(clock=FakeClock())
+        for v in (0.5, 0.25, 2.0):
+            tr.gauge("residual", v)
+        st = tr.gauge_stats["residual"]
+        assert st["min"] == 0.25 and st["max"] == 2.0
+        assert st["count"] == 3 and st["sum"] == pytest.approx(2.75)
+        m = tr.metrics()
+        assert m["gauge_stats"]["residual"]["mean"] == pytest.approx(2.75 / 3)
+        # Last-value semantics are unchanged for existing consumers.
+        assert m["gauges"]["residual"] == 2.0
+
     def test_metrics_payload(self):
         tr = Tracer(clock=FakeClock())
         tr.incr("n", 2)
@@ -96,6 +108,41 @@ class TestCountersAndGauges:
         assert m["counters"] == {"n": 2}
         assert m["buckets"] == {"chi0_apply": 1.5}
         assert m["bucket_counts"] == {"chi0_apply": 1}
+
+
+class TestExportAbsorb:
+    def _child(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("child_work", orbital=1):
+            pass
+        tr.incr("matvecs", 5)
+        tr.add("chi0_apply", 0.5)
+        tr.gauge("residual", 0.1)
+        return tr
+
+    def test_absorb_folds_everything(self):
+        parent = Tracer(clock=FakeClock())
+        parent.incr("matvecs", 3)
+        parent.gauge("residual", 0.9)
+        parent.absorb(self._child().export_state())
+        parent.absorb(self._child().export_state())
+        assert parent.counters["matvecs"] == 13
+        assert parent.buckets["chi0_apply"] == pytest.approx(1.0)
+        names = [e["name"] for e in parent.events]
+        assert names.count("child_work") == 2
+        st = parent.gauge_stats["residual"]
+        assert st["count"] == 3 and st["min"] == 0.1 and st["max"] == 0.9
+
+    def test_absorb_empty_state_noop(self):
+        parent = Tracer(clock=FakeClock())
+        parent.incr("n")
+        parent.absorb({})
+        assert parent.counters == {"n": 1}
+
+    def test_null_tracer_export_absorb(self):
+        assert NULL_TRACER.export_state() == {}
+        NULL_TRACER.absorb({"counters": {"n": 1}})
+        assert NULL_TRACER.metrics()["gauge_stats"] == {}
 
 
 class TestKernelTimersProtocol:
