@@ -162,6 +162,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="apply the shifted inverse-Laplacian preconditioner "
                              "to the difficult (indefinite, small-omega) "
                              "Sternheimer systems")
+    parser.add_argument("--batched", action="store_true",
+                        help="fuse all occupied orbitals' Sternheimer systems at "
+                             "each quadrature point into one wide batched COCG "
+                             "solve (one shared Hamiltonian apply per iteration)")
+    parser.add_argument("--solve-dtype", choices=("float64", "float32_ir"),
+                        default="float64",
+                        help="working precision of the batched solves: 'float32_ir' "
+                             "runs float32 COCG iterations polished by float64 "
+                             "iterative refinement (requires --batched)")
     parser.add_argument("--resilience", action="store_true",
                         help="route every Sternheimer solve through the escalation "
                              "chain (block COCG -> BF block COCG -> regularized GMRES)")
@@ -235,6 +244,16 @@ def _run(args, tracer, recorder) -> int:
         modes = [m for m, on in (("recycling", args.recycle),
                                  ("preconditioning", args.precondition)) if on]
         print(f"sternheimer: {' + '.join(modes)} enabled", file=sys.stderr)
+    if args.solve_dtype != "float64" and not args.batched:
+        print("error: --solve-dtype float32_ir requires --batched", file=sys.stderr)
+        return 2
+    if args.batched:
+        from dataclasses import replace
+
+        config = replace(config, batched_sternheimer=True,
+                         solve_dtype=args.solve_dtype)
+        print(f"sternheimer: batched multi-orbital solves enabled "
+              f"(solve_dtype={args.solve_dtype})", file=sys.stderr)
     resilience = _resilience_from_args(args)
     if resilience is not None:
         from dataclasses import replace

@@ -160,6 +160,18 @@ class RPAConfig:
         Optional :class:`ResilienceConfig` enabling the escalation chain,
         per-solve matvec budgets and graceful degradation. ``None`` keeps
         the historical single-solver behaviour.
+    batched_sternheimer:
+        Fuse all occupied orbitals' Sternheimer systems at a quadrature
+        point into one wide batched COCG solve (one shared Hamiltonian
+        apply per iteration, per-orbital shifts as a diagonal correction).
+        Off by default: the per-orbital path is bit-identical to the
+        historical behaviour.
+    solve_dtype:
+        Working precision of the batched Sternheimer solves:
+        ``"float64"`` (default) or ``"float32_ir"`` (float32 COCG
+        iterations polished by float64 iterative refinement until the true
+        residual meets ``tol_sternheimer``). Only consulted when
+        ``batched_sternheimer`` is on.
     """
 
     n_eig: int
@@ -181,6 +193,8 @@ class RPAConfig:
     resilience: ResilienceConfig | None = None  # None = plain solver, no escalation
     verify_level: str = "off"  # "off" | "cheap" | "full" (repro.verify)
     telemetry_level: str = "off"  # "off" | "summary" | "full" (repro.obs.telemetry)
+    batched_sternheimer: bool = False  # fuse all orbitals into one wide COCG solve
+    solve_dtype: str = "float64"  # "float64" | "float32_ir" (batched path only)
 
     def __post_init__(self) -> None:
         if self.n_eig <= 0:
@@ -201,6 +215,11 @@ class RPAConfig:
             raise ValueError(
                 f"telemetry_level must be 'off', 'summary' or 'full', "
                 f"got {self.telemetry_level!r}"
+            )
+        if self.solve_dtype not in ("float64", "float32_ir"):
+            raise ValueError(
+                f"solve_dtype must be 'float64' or 'float32_ir', "
+                f"got {self.solve_dtype!r}"
             )
         if isinstance(self.tol_subspace, (int, float)):
             self.tol_subspace = (float(self.tol_subspace),) * self.n_quadrature

@@ -199,6 +199,8 @@ def compute_rpa_energy(
             on_failure=(config.resilience.on_failure
                         if config.resilience is not None else "degrade"),
             use_preconditioner=config.use_preconditioner,
+            use_batched=config.batched_sternheimer,
+            solve_dtype=config.solve_dtype,
         )
     if config.use_recycling and chi0_operator.recycler is None:
         chi0_operator.recycler = SolveRecycler(width=config.n_eig)

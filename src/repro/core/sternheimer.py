@@ -17,6 +17,7 @@ deflating guess (Eq. 13) and per-system dynamic block-size selection
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,12 +26,17 @@ from repro.dft.hamiltonian import Hamiltonian
 from repro.grid.coulomb import CoulombOperator
 from repro.obs.telemetry import get_recorder
 from repro.obs.tracer import get_tracer
+from repro.solvers.batched import (
+    BatchedShiftedOperator,
+    batched_cocg_ir_solve,
+    batched_cocg_solve,
+)
 from repro.solvers.block_cocg import block_cocg_solve
 from repro.solvers.block_size import CostFn, flop_cost_model, solve_with_dynamic_block_size
 from repro.solvers.galerkin_guess import galerkin_initial_guess
 from repro.solvers.preconditioner import ShiftedLaplacianPreconditioner, should_precondition
 from repro.solvers.recycle import SolveRecycler
-from repro.solvers.stats import SolveSummary
+from repro.solvers.stats import SolveResult, SolveSummary
 from repro.utils.timing import KernelTimers
 from repro.verify.invariants import get_verifier
 
@@ -68,6 +74,17 @@ class SternheimerStats:
     # tiny omega) — the solve proceeds from x0 = None instead of dying.
     n_preconditioned_solves: int = 0
     n_guess_singular_skips: int = 0
+    # Batched-kernel accounting: fused multi-orbital solves, fused operator
+    # applications (each pushes every active column through H at once),
+    # mixed-precision refinement rounds, float64 fallbacks (batches whose
+    # refinement budget ran out), orbitals re-solved on the cold path after
+    # a batched non-convergence, and preconditioner-cache evictions.
+    n_batched_solves: int = 0
+    n_batched_applies: int = 0
+    n_ir_refinements: int = 0
+    n_ir_fallbacks: int = 0
+    n_batched_fallback_orbitals: int = 0
+    n_preconditioner_evictions: int = 0
 
     def merge(self, other: "SternheimerStats") -> None:
         self.n_block_solves += other.n_block_solves
@@ -88,6 +105,12 @@ class SternheimerStats:
         self.degraded_error_bound += other.degraded_error_bound
         self.n_preconditioned_solves += other.n_preconditioned_solves
         self.n_guess_singular_skips += other.n_guess_singular_skips
+        self.n_batched_solves += other.n_batched_solves
+        self.n_batched_applies += other.n_batched_applies
+        self.n_ir_refinements += other.n_ir_refinements
+        self.n_ir_fallbacks += other.n_ir_fallbacks
+        self.n_batched_fallback_orbitals += other.n_batched_fallback_orbitals
+        self.n_preconditioner_evictions += other.n_preconditioner_evictions
 
     def absorb(self, orbital: int, summary: SolveSummary) -> None:
         """Accumulate one orbital's solve totals (a :class:`SolveSummary`)."""
@@ -156,6 +179,26 @@ class Chi0Operator:
         the *difficult* ``(j, omega)`` systems only (the
         ``should_precondition`` heuristic: indefinite spectrum at small
         imaginary shift); easy systems keep the unpreconditioned fast path.
+    use_batched:
+        Fuse all orbitals' Sternheimer systems at a quadrature point into
+        one wide batch sharing a single Hamiltonian application per Krylov
+        iteration (``repro.solvers.batched``), with per-orbital shifts as
+        a diagonal correction and per-column convergence masks. Orbitals
+        the batched recurrence cannot converge fall back to the cold
+        per-orbital path (escalation chain and degradation accounting
+        intact). Off by default — the cold path is bit-identical to the
+        historical per-orbital loop.
+    solve_dtype:
+        Working precision of batched solves: ``"float64"`` (default) or
+        ``"float32_ir"`` (complex64 COCG iterations polished by float64
+        iterative refinement until the true residual meets ``tol``; a
+        float64 fallback finishes any column the refinement budget cannot).
+        Ignored on the per-orbital path.
+    max_cached_preconditioners:
+        Bound on the ``(lambda_j, omega)`` preconditioner cache (LRU
+        eviction, counted in ``stats.n_preconditioner_evictions``). A full
+        sweep touches ``n_s * n_quadrature`` distinct shifts, so an
+        unbounded cache grows with both.
     """
 
     def __init__(
@@ -176,6 +219,9 @@ class Chi0Operator:
         on_failure: str = "degrade",
         recycler: SolveRecycler | None = None,
         use_preconditioner: bool = False,
+        use_batched: bool = False,
+        solve_dtype: str = "float64",
+        max_cached_preconditioners: int = 64,
     ) -> None:
         psi_occ = np.asarray(psi_occ, dtype=float)
         eps_occ = np.asarray(eps_occ, dtype=float)
@@ -204,11 +250,24 @@ class Chi0Operator:
         self.solver = escalation if escalation is not None else solver
         self.recycler = recycler
         self.use_preconditioner = bool(use_preconditioner)
+        if solve_dtype not in ("float64", "float32_ir"):
+            raise ValueError(
+                f"solve_dtype must be 'float64' or 'float32_ir', got {solve_dtype!r}"
+            )
+        if max_cached_preconditioners < 1:
+            raise ValueError("max_cached_preconditioners must be >= 1")
+        self.use_batched = bool(use_batched)
+        self.solve_dtype = solve_dtype
+        self.max_cached_preconditioners = int(max_cached_preconditioners)
         self._lambda_min = float(eps_occ.min())
         # Preconditioners are spectral factorizations of the shifted
         # Laplacian — one FFT/Kronecker plan per distinct (lambda_j, omega)
         # shift, reused across every subspace iteration at that frequency.
-        self._preconditioners: dict[tuple[float, float], ShiftedLaplacianPreconditioner] = {}
+        # The cache is LRU-bounded: a sweep visits n_s * n_quadrature
+        # distinct shifts, and long parameter scans visit many sweeps.
+        self._preconditioners: OrderedDict[
+            tuple[float, float], ShiftedLaplacianPreconditioner
+        ] = OrderedDict()
         apply_cost = (6.0 * hamiltonian.radius + 1.0) * hamiltonian.n_points
         if hamiltonian.nonlocal_part is not None:
             apply_cost += 4.0 * hamiltonian.nonlocal_part.projectors.nnz
@@ -244,9 +303,14 @@ class Chi0Operator:
             raise ValueError(f"operand rows {V.shape[0]} != n_d {self.n_points}")
         n_v = V.shape[1]
         acc = np.zeros((self.n_points, n_v), dtype=complex)
-        for j in range(self.n_occupied):
-            y = self._solve_orbital(j, V, omega)
-            acc += self.psi[:, j : j + 1] * y
+        if self.use_batched:
+            solved = self._solve_orbitals_batched(range(self.n_occupied), V, omega)
+            for j, (y, _converged) in solved.items():
+                acc += self.psi[:, j : j + 1] * y
+        else:
+            for j in range(self.n_occupied):
+                y = self._solve_orbital(j, V, omega)
+                acc += self.psi[:, j : j + 1] * y
         out = 4.0 * acc.real
         return out[:, 0] if squeeze else out
 
@@ -302,7 +366,185 @@ class Chi0Operator:
                 self.h.grid, lam_j, omega, radius=self.h.radius
             )
             self._preconditioners[key] = M
+            if len(self._preconditioners) > self.max_cached_preconditioners:
+                self._preconditioners.popitem(last=False)
+                self.stats.n_preconditioner_evictions += 1
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.incr("preconditioner_evictions")
+        else:
+            self._preconditioners.move_to_end(key)
         return M
+
+    def _make_batched_operator(self, shifts: np.ndarray) -> BatchedShiftedOperator:
+        """The fused multi-shift operator for one batched solve.
+
+        A separate hook so the differential harness can plant batched
+        faults (e.g. dropping one orbital's shift) without touching the
+        production constructor.
+        """
+        return BatchedShiftedOperator(self.h, shifts, n=self.n_points)
+
+    def _solve_orbitals_batched(
+        self, orbitals, V: np.ndarray, omega: float,
+        guesses: dict[int, np.ndarray | None] | None = None,
+    ) -> dict[int, tuple[np.ndarray, bool]]:
+        """Solve the given orbitals' Sternheimer systems as one fused batch.
+
+        Returns ``{orbital: (Y_j, converged)}``. Per-orbital plumbing is
+        preserved: recycled/Galerkin initial guesses, selective
+        preconditioners (as per-orbital column groups), recycler stores,
+        telemetry solve scopes and verifier checks all key off the orbital
+        exactly as on the cold path. Orbitals whose columns the batched
+        recurrence could not converge are re-solved by the per-orbital
+        path, which carries the full recovery stack (escalation chain,
+        degradation accounting).
+
+        ``guesses`` overrides the guess lookup (process workers receive
+        parent-side recycler guesses this way; the recycler itself never
+        lives in the worker).
+        """
+        orbitals = [int(j) for j in orbitals]
+        n_v = V.shape[1]
+        n_cols = len(orbitals) * n_v
+        tracer = get_tracer()
+        verifier = get_verifier()
+        recorder = get_recorder()
+
+        B = np.empty((self.n_points, n_cols), dtype=float)
+        shifts = np.empty(n_cols, dtype=complex)
+        X0: np.ndarray | None = None
+        sources: dict[int, str] = {}
+        groups: list[tuple[np.ndarray, object]] = []
+        n_preconditioned = 0
+        for g, j in enumerate(orbitals):
+            lam_j = float(self.eps[j])
+            sl = slice(g * n_v, (g + 1) * n_v)
+            B[:, sl] = -(V * self.psi[:, j : j + 1])
+            shifts[sl] = -lam_j + 1j * omega
+            if guesses is not None and guesses.get(j) is not None:
+                x0j, sources[j] = guesses[j], "explicit"
+            else:
+                # A shipped miss (None) falls through to the local guess
+                # machinery — Galerkin still applies in recycler-less workers.
+                x0j, sources[j] = self._initial_guess(j, lam_j, omega, B[:, sl])
+            if x0j is not None:
+                if X0 is None:
+                    X0 = np.zeros((self.n_points, n_cols), dtype=complex)
+                X0[:, sl] = x0j
+            M = self._preconditioner_for(lam_j, omega)
+            if M is not None:
+                groups.append((np.arange(sl.start, sl.stop), M))
+                n_preconditioned += 1
+
+        op = self._make_batched_operator(shifts)
+        if verifier.enabled:
+            for g, j in enumerate(orbitals):
+                lam_j = float(self.eps[j])
+                reference = self.h.shifted(lam_j, omega)
+                verifier.check_operator_symmetry(
+                    reference, self.n_points, key=(j, float(omega)),
+                    orbital=j, omega=float(omega),
+                )
+                # The fused operator's column must agree with the orbital's
+                # true shifted operator — the check that catches a batched
+                # apply mis-routing (or dropping) a shift.
+                verifier.check_batched_shift(
+                    op.apply, reference, self.n_points, column=g * n_v,
+                    key=(j, float(omega)), orbital=j, omega=float(omega),
+                )
+
+        with tracer.span("sternheimer_batched_solve", omega=omega,
+                         n_orbitals=len(orbitals), n_columns=n_cols,
+                         dtype=self.solve_dtype,
+                         preconditioned=n_preconditioned) as sp:
+            if self.solve_dtype == "float32_ir":
+                res = batched_cocg_ir_solve(
+                    op, B, x0=X0, tol=self.tol,
+                    max_iterations=self.max_iterations,
+                    preconditioner_groups=groups,
+                )
+            else:
+                res = batched_cocg_solve(
+                    op, B, x0=X0, tol=self.tol,
+                    max_iterations=self.max_iterations,
+                    preconditioner_groups=groups,
+                )
+            if sp is not None:
+                sp.set(iterations=res.iterations,
+                       batched_applies=res.n_batched_applies,
+                       n_matvec=res.n_matvec,
+                       converged=res.all_converged)
+
+        self.stats.n_batched_solves += 1
+        self.stats.n_batched_applies += res.n_batched_applies
+        self.stats.n_ir_refinements += res.n_refinements
+        if res.n_fallback_columns:
+            self.stats.n_ir_fallbacks += 1
+        if n_preconditioned:
+            self.stats.n_preconditioned_solves += n_preconditioned
+        if tracer.enabled:
+            tracer.incr("batched_solves")
+            tracer.incr("batched_applies", res.n_batched_applies)
+            tracer.incr("batched_columns", n_cols)
+            if n_preconditioned:
+                tracer.incr("preconditioned_solves", n_preconditioned)
+            if res.n_refinements:
+                tracer.incr("batched_ir_refinements", res.n_refinements)
+            if res.n_fallback_columns:
+                tracer.incr("batched_ir_fallback_columns", res.n_fallback_columns)
+
+        out: dict[int, tuple[np.ndarray, bool]] = {}
+        for g, j in enumerate(orbitals):
+            sl = slice(g * n_v, (g + 1) * n_v)
+            lam_j = float(self.eps[j])
+            if not bool(res.converged[sl].all()):
+                # Cold per-orbital re-solve: escalation, retries and
+                # degradation accounting apply exactly as without batching.
+                self.stats.n_batched_fallback_orbitals += 1
+                if tracer.enabled:
+                    tracer.incr("batched_fallback_orbitals")
+                    tracer.event("batched_orbital_fallback", orbital=j,
+                                 omega=omega)
+                unconverged_before = self.stats.n_unconverged
+                y = self._solve_orbital(j, V, omega)
+                out[j] = (y, self.stats.n_unconverged == unconverged_before)
+                continue
+            Y_j = res.solution[:, sl]
+            iterations_j = int(max(res.col_iterations[sl].max(), 0))
+            r = SolveResult(
+                solution=Y_j,
+                converged=True,
+                iterations=iterations_j,
+                residual_norm=float(res.residual_norms[sl].max()),
+                residual_history=[float(res.residual_norms[sl].max())],
+                n_matvec=int(res.col_applies[sl].sum()),
+                block_size=n_v,
+                dtype=self.solve_dtype,
+            )
+            with recorder.solve_scope(orbital=j, omega=float(omega),
+                                      guess=sources[j]):
+                if recorder.enabled:
+                    recorder.record_solve("batched_cocg", r)
+            self._record(j, SolveSummary.of([r]))
+            if verifier.enabled:
+                # True-residual gate against the orbital's real operator —
+                # a batched apply that solved the wrong system fails here.
+                verifier.check_solve_residual(
+                    self.h.shifted(lam_j, omega), B[:, sl], Y_j, self.tol,
+                    r.residual_norm, True, orbital=j, omega=float(omega),
+                )
+            if self.recycler is not None and sources[j] != "explicit":
+                stored = self.recycler.store(j, omega, Y_j, converged=True)
+                if (stored and verifier.enabled
+                        and self.recycler.last_store_slice is not None):
+                    verifier.note_recycle_store(
+                        j, float(omega), Y_j,
+                        self.recycler.last_store_slice[0],
+                        self.recycler.width,
+                    )
+            out[j] = (Y_j, True)
+        return out
 
     def _solve_orbital(self, j: int, V: np.ndarray, omega: float,
                        x0: np.ndarray | None = None) -> np.ndarray:

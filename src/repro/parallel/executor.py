@@ -57,6 +57,9 @@ class ThreadedChi0Operator(Chi0Operator):
 
         from repro.core.sternheimer import SternheimerStats
 
+        if self.use_batched:
+            return self._apply_chi0_batched(V, omega, squeeze)
+
         def task(j: int):
             # Give each task an isolated stats sink by temporarily swapping;
             # the base class records into self.stats, so run on a clone.
@@ -74,6 +77,42 @@ class ThreadedChi0Operator(Chi0Operator):
                 results = list(pool.map(task, range(self.n_occupied)))
         for j, y, stats in sorted(results, key=lambda r: r[0]):
             acc += self.psi[:, j : j + 1] * y
+            self.stats.merge(stats)
+        out = 4.0 * acc.real
+        return out[:, 0] if squeeze else out
+
+    def _apply_chi0_batched(self, V: np.ndarray, omega: float,
+                            squeeze: bool) -> np.ndarray:
+        """Batched route: contiguous orbital groups, one fused solve each.
+
+        With fewer workers than orbitals each group fuses several orbitals
+        into one wide solve, keeping the shared-H-apply advantage inside a
+        group while groups run concurrently.
+        """
+        from repro.core.sternheimer import SternheimerStats
+
+        n_groups = max(1, min(self.n_workers, self.n_occupied))
+        groups = [g for g in np.array_split(np.arange(self.n_occupied), n_groups)
+                  if g.size]
+
+        def task(group: np.ndarray):
+            worker = Chi0Operator.__new__(Chi0Operator)
+            worker.__dict__.update(self.__dict__)
+            worker.stats = SternheimerStats()
+            solved = worker._solve_orbitals_batched([int(j) for j in group],
+                                                    V, omega)
+            return group, solved, worker.stats
+
+        acc = np.zeros((self.n_points, V.shape[1]), dtype=complex)
+        if len(groups) == 1 or self.n_workers == 1:
+            results = [task(g) for g in groups]
+        else:
+            with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+                results = list(pool.map(task, groups))
+        for group, solved, stats in sorted(results, key=lambda r: int(r[0][0])):
+            for j in group:
+                y, _converged = solved[int(j)]
+                acc += self.psi[:, int(j) : int(j) + 1] * y
             self.stats.merge(stats)
         out = 4.0 * acc.real
         return out[:, 0] if squeeze else out

@@ -87,6 +87,39 @@ def _solve_orbital_task(args: tuple[int, np.ndarray, float, np.ndarray | None]):
     return j, y, _WORKER_OP.stats, obs
 
 
+def _solve_orbital_group_task(
+    args: tuple[tuple[int, ...], np.ndarray, float, dict[int, np.ndarray | None]],
+):
+    """Batched variant: one fused solve over a contiguous orbital group."""
+    group, V, omega, guesses = args
+    assert _WORKER_OP is not None, "worker not initialized"
+    if _WORKER_FAULT is not None:
+        for j in group:
+            _WORKER_FAULT(j)
+    _WORKER_OP.stats = SternheimerStats()
+    _WORKER_OP.recycler = None  # stores happen parent-side on the results
+    parent_recorder = get_recorder()
+    parent_tracer = get_tracer()
+    obs: dict | None = None
+    with ExitStack() as stack:
+        recorder = tracer = None
+        if parent_recorder.enabled:
+            recorder = stack.enter_context(
+                use_recorder(ConvergenceRecorder(level=parent_recorder.level))
+            )
+        if parent_tracer.enabled:
+            tracer = stack.enter_context(use_tracer(Tracer()))
+        solved = _WORKER_OP._solve_orbitals_batched(list(group), V, omega,
+                                                    guesses=guesses)
+        if recorder is not None or tracer is not None:
+            obs = {}
+            if recorder is not None:
+                obs["telemetry"] = recorder.payload()
+            if tracer is not None:
+                obs["trace"] = tracer.export_state()
+    return group, solved, _WORKER_OP.stats, obs
+
+
 class ProcessChi0Operator(Chi0Operator):
     """Drop-in ``Chi0Operator`` distributing orbital solves over processes.
 
@@ -164,6 +197,17 @@ class ProcessChi0Operator(Chi0Operator):
 
         if self.n_workers == 1:
             out = super().apply_chi0(V, omega)
+            return out[:, 0] if squeeze else out
+
+        if self.use_batched:
+            results_b = self._solve_all_orbitals_batched(V, omega)
+            acc = np.zeros((self.n_points, V.shape[1]), dtype=complex)
+            for j in sorted(results_b):
+                y, converged = results_b[j]
+                acc += self.psi[:, j : j + 1] * y
+                if self.recycler is not None:
+                    self.recycler.store(j, omega, y, converged=converged)
+            out = 4.0 * acc.real
             return out[:, 0] if squeeze else out
 
         results = self._solve_all_orbitals(V, omega)
@@ -251,4 +295,78 @@ class ProcessChi0Operator(Chi0Operator):
                 tracer.event("worker_pool_restart", lost=len(pending),
                              restart=restarts_this_apply)
             self.close()  # discard the broken pool; _ensure_pool rebuilds
+        return results
+
+    def _solve_all_orbitals_batched(
+        self, V: np.ndarray, omega: float
+    ) -> dict[int, tuple[np.ndarray, bool]]:
+        """Batched fan-out: one fused solve per contiguous orbital group.
+
+        Mirrors :meth:`_solve_all_orbitals` — parent-side guesses, pool
+        recovery keyed by group (a lost group is resubmitted whole; finished
+        groups are never recomputed) — but ships ``n_workers`` wide solves
+        instead of ``n_s`` narrow ones. Worker stats and observability
+        payloads are folded in here; recycler stores happen in the caller
+        on the per-orbital results.
+        """
+        tracer = get_tracer()
+        n_groups = max(1, min(self.n_workers, self.n_occupied))
+        pending: set[tuple[int, ...]] = {
+            tuple(int(j) for j in g)
+            for g in np.array_split(np.arange(self.n_occupied), n_groups)
+            if g.size
+        }
+        guesses: dict[int, np.ndarray | None] = {
+            j: (self.recycler.guess(j, omega, V.shape[1])
+                if self.recycler is not None else None)
+            for j in range(self.n_occupied)
+        }
+        results: dict[int, tuple[np.ndarray, bool]] = {}
+        restarts_this_apply = 0
+        while pending:
+            pool = self._ensure_pool()
+            futures = {
+                pool.submit(
+                    _solve_orbital_group_task,
+                    (g, V, omega, {j: guesses[j] for j in g}),
+                ): g
+                for g in sorted(pending)
+            }
+            broken = False
+            futures_wait(futures)
+            for fut, g in futures.items():
+                try:
+                    exc = fut.exception()
+                except BaseException:  # cancelled by a dying pool
+                    broken = True
+                    continue
+                if exc is None:
+                    group, solved, stats, obs = fut.result()
+                    results.update(solved)
+                    self.stats.merge(stats)
+                    self._merge_child_obs(obs)
+                    pending.discard(tuple(group))
+                elif isinstance(exc, BrokenProcessPool):
+                    broken = True
+                else:
+                    raise exc
+            if not pending:
+                break
+            if not broken:  # pragma: no cover - defensive
+                raise WorkerRecoveryError(
+                    f"orbital groups {sorted(pending)} returned no result "
+                    f"without a pool failure"
+                )
+            if restarts_this_apply >= self.max_pool_restarts:
+                raise WorkerRecoveryError(
+                    f"pool died {restarts_this_apply + 1} times; giving up on "
+                    f"orbital groups {sorted(pending)}"
+                )
+            restarts_this_apply += 1
+            self.n_pool_restarts += 1
+            if tracer.enabled:
+                tracer.incr("worker_pool_restarts")
+                tracer.event("worker_pool_restart", lost=len(pending),
+                             restart=restarts_this_apply)
+            self.close()
         return results

@@ -197,6 +197,8 @@ def compute_rpa_energy_parallel(
         on_failure=(config.resilience.on_failure
                     if config.resilience is not None else "degrade"),
         use_preconditioner=config.use_preconditioner,
+        use_batched=config.batched_sternheimer,
+        solve_dtype=config.solve_dtype,
         recycler=(SolveRecycler(width=config.n_eig)
                   if config.use_recycling else None),
     )

@@ -8,6 +8,12 @@ GMRES, classical CG, a seed-projection method) and the future-work shifted
 inverse-Laplacian preconditioner.
 """
 
+from repro.solvers.batched import (
+    BatchedShiftedOperator,
+    BatchedSolveResult,
+    batched_cocg_ir_solve,
+    batched_cocg_solve,
+)
 from repro.solvers.block_cocg import block_cocg_solve
 from repro.solvers.block_cocg_bf import block_cocg_bf_solve
 from repro.solvers.block_size import flop_cost_model, solve_with_dynamic_block_size
@@ -27,6 +33,10 @@ from repro.solvers.stats import (
 )
 
 __all__ = [
+    "BatchedShiftedOperator",
+    "BatchedSolveResult",
+    "batched_cocg_solve",
+    "batched_cocg_ir_solve",
     "cg_solve",
     "cocg_solve",
     "block_cocg_solve",

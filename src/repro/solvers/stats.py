@@ -35,6 +35,10 @@ class SolveResult:
         Optional per-column first-convergence iteration (``-1`` for columns
         that never crossed the tolerance). Populated by the block solvers
         only at full telemetry level; ``None`` otherwise.
+    dtype:
+        Working precision of the solve: ``"float64"`` (default),
+        ``"float32"`` (a raw single-precision recurrence) or
+        ``"float32_ir"`` (f32 iterations + f64 iterative refinement).
     """
 
     solution: np.ndarray
@@ -46,6 +50,7 @@ class SolveResult:
     block_size: int = 1
     breakdown: bool = False
     per_column_iterations: list[int] | None = None
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.iterations < 0:
@@ -75,6 +80,9 @@ class SolveSummary:
     n_retries: int = 0
     n_escalations: int = 0
     stage_counts: dict[str, int] = field(default_factory=dict)
+    # Working precision histogram: dtype string -> number of solves run at
+    # that precision (``"float32_ir"`` marks the mixed-precision path).
+    dtype_counts: dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def of(cls, results: Iterable[SolveResult]) -> "SolveSummary":
@@ -90,6 +98,8 @@ class SolveSummary:
             summary.block_size_counts[r.block_size] = (
                 summary.block_size_counts.get(r.block_size, 0) + 1
             )
+            dtype = getattr(r, "dtype", "float64")
+            summary.dtype_counts[dtype] = summary.dtype_counts.get(dtype, 0) + 1
             attempts = getattr(r, "attempts", None)
             if attempts:
                 summary.n_retries += len(attempts) - 1
@@ -113,6 +123,8 @@ class SolveSummary:
         self.n_escalations += other.n_escalations
         for k, v in other.stage_counts.items():
             self.stage_counts[k] = self.stage_counts.get(k, 0) + v
+        for k, v in other.dtype_counts.items():
+            self.dtype_counts[k] = self.dtype_counts.get(k, 0) + v
         return self
 
     @property

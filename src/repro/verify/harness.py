@@ -61,8 +61,11 @@ HARNESS_TOL_SUBSPACE = 1e-8
 HARNESS_SEED = 7
 
 #: The full configuration matrix: backend x recycling x preconditioner x
-#: resilience (24 runs). ``--quick`` keeps one covering subset per backend.
+#: resilience (24 runs), plus the batched x solve-dtype axes (each backend
+#: run with the fused multi-orbital kernel at float64 and float32+IR).
+#: ``--quick`` keeps one covering subset per backend.
 BACKENDS = ("serial", "mpi", "process")
+SOLVE_DTYPES = ("float64", "float32_ir")
 
 
 def build_tiny_system():
@@ -82,7 +85,8 @@ def build_tiny_system():
 
 
 def harness_config(recycling: bool, preconditioner: bool,
-                   resilience: bool) -> RPAConfig:
+                   resilience: bool, batched: bool = False,
+                   dtype: str = "float64") -> RPAConfig:
     """One cell of the matrix, at oracle-grade tolerances."""
     return RPAConfig(
         n_eig=HARNESS_N_EIG,
@@ -95,34 +99,50 @@ def harness_config(recycling: bool, preconditioner: bool,
         use_recycling=recycling,
         use_preconditioner=preconditioner,
         resilience=ResilienceConfig() if resilience else None,
+        batched_sternheimer=batched,
+        solve_dtype=dtype,
         seed=HARNESS_SEED,
     )
 
 
 def configuration_matrix(quick: bool = False):
-    """``(backend, recycling, preconditioner, resilience)`` tuples to run."""
+    """``(backend, recycling, precond, resilience, batched, dtype)`` tuples."""
     if quick:
         return [
-            ("serial", False, False, False),
-            ("serial", True, True, True),
-            ("mpi", False, False, False),
-            ("mpi", True, False, True),
-            ("process", False, False, False),
-            ("process", True, True, False),
+            ("serial", False, False, False, False, "float64"),
+            ("serial", True, True, True, False, "float64"),
+            ("serial", True, False, False, True, "float32_ir"),
+            ("mpi", False, False, False, False, "float64"),
+            ("mpi", True, False, True, False, "float64"),
+            ("mpi", True, False, False, True, "float64"),
+            ("process", False, False, False, False, "float64"),
+            ("process", True, True, False, False, "float64"),
+            ("process", True, False, False, True, "float32_ir"),
         ]
-    return [
-        (backend, recycling, precond, resilience)
+    matrix = [
+        (backend, recycling, precond, resilience, False, "float64")
         for backend in BACKENDS
         for recycling in (False, True)
         for precond in (False, True)
         for resilience in (False, True)
     ]
+    # The batched kernel crossed with both working precisions on every
+    # backend (recycling on: the batched route must keep feeding the
+    # per-orbital recycler for these to pass).
+    matrix += [
+        (backend, True, False, False, True, dtype)
+        for backend in BACKENDS
+        for dtype in SOLVE_DTYPES
+    ]
+    return matrix
 
 
 def run_one(dft, coulomb, backend: str, recycling: bool, preconditioner: bool,
-            resilience: bool, level: str = "cheap") -> dict:
+            resilience: bool, batched: bool = False, dtype: str = "float64",
+            level: str = "cheap") -> dict:
     """Run one configuration under a fresh verifier; return its record."""
-    config = harness_config(recycling, preconditioner, resilience)
+    config = harness_config(recycling, preconditioner, resilience,
+                            batched=batched, dtype=dtype)
     verifier = Verifier(level=level)
     t0 = time.perf_counter()
     with use_verifier(verifier):
@@ -148,6 +168,8 @@ def run_one(dft, coulomb, backend: str, recycling: bool, preconditioner: bool,
                 max_iterations=config.max_cocg_iterations,
                 escalation=_escalation_from(config),
                 use_preconditioner=config.use_preconditioner,
+                use_batched=config.batched_sternheimer,
+                solve_dtype=config.solve_dtype,
                 recycler=(SolveRecycler(width=config.n_eig)
                           if config.use_recycling else None),
                 n_workers=2,
@@ -163,6 +185,8 @@ def run_one(dft, coulomb, backend: str, recycling: bool, preconditioner: bool,
         "recycling": recycling,
         "preconditioner": preconditioner,
         "resilience": resilience,
+        "batched": batched,
+        "solve_dtype": dtype,
         "energy": float(energy),
         "converged": bool(converged),
         "n_matvec": int(n_matvec),
@@ -280,6 +304,39 @@ def _inject_broken_rotation(dft, coulomb, level: str) -> dict:
                          verifier, tracer)
 
 
+class _DroppedShiftChi0(Chi0Operator):
+    """Chi0 operator whose batched apply drops one orbital's shift.
+
+    Zeroes the real part (``-lambda_j``) of the second orbital's shift
+    entries in the fused operator — the shape of an indexing bug that
+    builds the diagonal correction from the wrong orbital ordering. The
+    per-column recurrences still converge (to the wrong system), so only
+    a check against the true per-orbital operator can see it.
+    """
+
+    def _make_batched_operator(self, shifts):
+        n_orb = self.n_occupied
+        n_v = len(shifts) // n_orb
+        if n_orb > 1:
+            shifts = np.array(shifts, copy=True)
+            shifts[n_v : 2 * n_v] = 1j * shifts[n_v : 2 * n_v].imag
+        return super()._make_batched_operator(shifts)
+
+
+def _inject_dropped_shift(dft, coulomb, level: str) -> dict:
+    verifier = Verifier(level=level)
+    tracer = Tracer()
+    with use_tracer(tracer), use_verifier(verifier):
+        op = _DroppedShiftChi0(
+            dft.hamiltonian, dft.occupied_orbitals, dft.occupied_energies,
+            coulomb, tol=1e-8, use_batched=True,
+        )
+        rng = np.random.default_rng(HARNESS_SEED)
+        op.apply_chi0(rng.standard_normal((dft.grid.n_points, 2)), omega=1.0)
+    return _fault_record("dropped_batched_shift", "batched_shift",
+                         verifier, tracer)
+
+
 def _fault_record(fault: str, check: str, verifier: Verifier,
                   tracer: Tracer) -> dict:
     counter = f"verify_{check}_failures"
@@ -300,6 +357,7 @@ FAULT_INJECTIONS = (
     _inject_asymmetric_operator,
     _inject_fake_converged_solve,
     _inject_broken_rotation,
+    _inject_dropped_shift,
 )
 
 
@@ -327,9 +385,11 @@ def run_harness(level: str = "cheap", quick: bool = False,
 
     configs = []
     all_ok = True
-    for backend, recycling, precond, resilience in configuration_matrix(quick):
+    for (backend, recycling, precond, resilience, batched,
+         dtype) in configuration_matrix(quick):
         record = run_one(dft, coulomb, backend, recycling, precond,
-                         resilience, level=level)
+                         resilience, batched=batched, dtype=dtype,
+                         level=level)
         record["oracle_energy"] = float(oracle.energy)
         record["abs_error"] = abs(record["energy"] - oracle.energy)
         record["tolerance"] = tolerance
@@ -340,7 +400,8 @@ def run_harness(level: str = "cheap", quick: bool = False,
         )
         all_ok = all_ok and record["ok"]
         say(f"{backend:8s} recycle={int(recycling)} precond={int(precond)} "
-            f"resilience={int(resilience)}: E={record['energy']:+.9e} "
+            f"resilience={int(resilience)} batched={int(batched)} "
+            f"dtype={dtype}: E={record['energy']:+.9e} "
             f"|dE|={record['abs_error']:.2e} "
             f"checks={record['verify']['checks_run']} "
             f"{'ok' if record['ok'] else 'FAIL'}")

@@ -18,7 +18,8 @@ Levels
 ``cheap``
     O(1) or single-column work per event: an unconjugated-symmetry probe
     per *distinct* shifted Sternheimer operator (two extra column matvecs,
-    cached by ``(orbital, omega)``), a one-column true-residual spot check
+    cached by ``(orbital, omega)``), a one-column batched-vs-shifted apply
+    probe per distinct batched column, a one-column true-residual spot check
     at each block-solve exit, Ritz-value/Eq. 7 sanity, quadrature weight
     positivity + Table II regression, rotated-recycle-guess residuals, and
     the Eq. 1 <-> dielectric trace identity at every quadrature point.
@@ -104,6 +105,7 @@ class Verifier:
         self.checks_run = 0
         self._rng = np.random.default_rng(seed)
         self._symmetry_seen: set = set()
+        self._batched_seen: set = set()
         self._quadrature_seen: set = set()
         # Shadow projections of full-width recycler entries: (orbital, omega)
         # -> z @ Y, updated with the *true* Rayleigh-Ritz Q at each rotation
@@ -187,6 +189,46 @@ class Verifier:
                 f"= {abs(left - right):.3e} > {rtol:g} * {scale:.3e}",
                 deviation=abs(left - right), scale=scale, **context)
         return self._passed("operator_symmetry")
+
+    def check_batched_shift(self, batched_apply, reference_apply, n: int,
+                            column: int, key=None, rtol: float = 1e-8,
+                            **context) -> bool:
+        """One column of a fused batched operator vs the true shifted apply.
+
+        The batched Sternheimer kernel applies ``H`` once to the whole
+        multi-orbital block and folds each orbital's ``-lambda_j + i omega``
+        in as a diagonal correction. This probe pushes a random vector
+        through a single batched column and through the orbital's *real*
+        shifted operator; a batched apply that drops, mis-scales, or
+        mis-routes a shift disagrees by ``O(lambda_j)``. At the cheap level
+        each distinct ``key`` (the ``(orbital, omega)`` pair) is probed
+        once; at the full level every call probes.
+        """
+        if key is not None and not self.full:
+            if key in self._batched_seen:
+                return True
+            self._batched_seen.add(key)
+        z = self._rng.standard_normal(n) + 1j * self._rng.standard_normal(n)
+        via_batched = np.asarray(
+            batched_apply(z[:, None], np.asarray([column]))
+        )[:, 0]
+        via_reference = np.asarray(reference_apply(z))
+        if not (np.all(np.isfinite(via_batched))
+                and np.all(np.isfinite(via_reference))):
+            return self._failed("batched_shift",
+                                "batched operator produced non-finite probe",
+                                **context)
+        deviation = float(np.linalg.norm(via_batched - via_reference))
+        scale = float(np.linalg.norm(via_reference) + np.linalg.norm(z))
+        if deviation > rtol * max(scale, 1e-300):
+            return self._failed(
+                "batched_shift",
+                f"batched column {column} disagrees with the per-orbital "
+                f"shifted operator by {deviation:.3e} (> {rtol:g} * "
+                f"{scale:.3e}): a shift was dropped or mis-routed",
+                deviation=deviation, scale=scale, column=int(column),
+                **context)
+        return self._passed("batched_shift")
 
     # -- solver exits -------------------------------------------------------------
 
