@@ -171,6 +171,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="working precision of the batched solves: 'float32_ir' "
                              "runs float32 COCG iterations polished by float64 "
                              "iterative refinement (requires --batched)")
+    parser.add_argument("--ssa", action="store_true",
+                        help="static subspace approximation: filter the dielectric "
+                             "subspace once at the reference (largest-omega) "
+                             "quadrature point and only Rayleigh-Ritz in the "
+                             "frozen basis at the remaining points")
+    parser.add_argument("--ssa-refresh-tol", type=float, default=None,
+                        metavar="TOL",
+                        help="Eq. 7 residual threshold above which an SSA point "
+                             "runs one cheap Chebyshev refresh pass before being "
+                             "accepted (requires --ssa; default: each point's "
+                             "own subspace tolerance)")
     parser.add_argument("--resilience", action="store_true",
                         help="route every Sternheimer solve through the escalation "
                              "chain (block COCG -> BF block COCG -> regularized GMRES)")
@@ -254,6 +265,21 @@ def _run(args, tracer, recorder) -> int:
                          solve_dtype=args.solve_dtype)
         print(f"sternheimer: batched multi-orbital solves enabled "
               f"(solve_dtype={args.solve_dtype})", file=sys.stderr)
+    if args.ssa_refresh_tol is not None and not args.ssa:
+        print("error: --ssa-refresh-tol requires --ssa", file=sys.stderr)
+        return 2
+    if args.ssa:
+        from dataclasses import replace
+
+        ssa_kwargs = {"use_ssa": True}
+        if args.ssa_refresh_tol is not None:
+            ssa_kwargs["ssa_refresh_tol"] = args.ssa_refresh_tol
+        config = replace(config, **ssa_kwargs)
+        refresh_desc = ("per-point subspace tol"
+                        if config.ssa_refresh_tol is None
+                        else f"{config.ssa_refresh_tol:g}")
+        print(f"ssa: frequency-shared eigenbasis enabled "
+              f"(refresh tol {refresh_desc})", file=sys.stderr)
     resilience = _resilience_from_args(args)
     if resilience is not None:
         from dataclasses import replace

@@ -172,6 +172,33 @@ class RPAConfig:
         iterations polished by float64 iterative refinement until the true
         residual meets ``tol_sternheimer``). Only consulted when
         ``batched_sternheimer`` is on.
+    use_ssa:
+        Static subspace approximation (``repro.core.ssa``): filter the
+        dielectric subspace once at the reference frequency (the largest
+        omega), then only Rayleigh-Ritz in the frozen basis at every
+        remaining quadrature point — one chi0 apply per point instead of a
+        full filtered iteration. Requires ``use_warm_start`` (the frozen
+        basis *is* the warm start). Off by default: the cold path is
+        bit-identical to an SSA-free build.
+    ssa_refresh_tol:
+        Eq. 7 threshold on the frozen-basis residual above which an SSA
+        point runs the cheap refresh (one Chebyshev pass per refresh
+        budget slot) before being accepted. ``None`` (the default) tracks
+        each point's own subspace tolerance (``tol_subspace_for``), so an
+        SSA point is held to the same residual standard full filtering
+        would be — a fixed value far below ``tol_subspace`` would make
+        every point exhaust its refresh budget and fall back. Larger
+        values freeze more aggressively (fewer matvecs, larger controlled
+        error); the Ritz values are variational, so the energy error of an
+        accepted point is *second order* in this residual, and the verify
+        layer bounds it per point.
+    ssa_refresh_passes:
+        Refresh budget per SSA point. A point whose frozen-basis residual
+        still exceeds ``ssa_refresh_tol`` after this many passes is not
+        accepted — the driver falls back to full filtering for it — so a
+        generous budget costs nothing on omega-stable spectra (the loop
+        exits as soon as the residual passes) and only bounds how long the
+        cheap path may try before conceding. 0 disables refreshing.
     """
 
     n_eig: int
@@ -195,6 +222,9 @@ class RPAConfig:
     telemetry_level: str = "off"  # "off" | "summary" | "full" (repro.obs.telemetry)
     batched_sternheimer: bool = False  # fuse all orbitals into one wide COCG solve
     solve_dtype: str = "float64"  # "float64" | "float32_ir" (batched path only)
+    use_ssa: bool = False  # frequency-shared eigenbasis (repro.core.ssa)
+    ssa_refresh_tol: float | None = None  # Eq. 7 refresh threshold; None = per-point tol_subspace
+    ssa_refresh_passes: int = 12  # refresh budget per SSA point
 
     def __post_init__(self) -> None:
         if self.n_eig <= 0:
@@ -221,6 +251,15 @@ class RPAConfig:
                 f"solve_dtype must be 'float64' or 'float32_ir', "
                 f"got {self.solve_dtype!r}"
             )
+        if self.ssa_refresh_tol is not None and self.ssa_refresh_tol <= 0:
+            raise ValueError("ssa_refresh_tol must be positive")
+        if self.ssa_refresh_passes < 0:
+            raise ValueError("ssa_refresh_passes must be >= 0")
+        if self.use_ssa and not self.use_warm_start:
+            raise ValueError(
+                "use_ssa requires use_warm_start: the frozen reference basis "
+                "is carried between quadrature points as the warm start"
+            )
         if isinstance(self.tol_subspace, (int, float)):
             self.tol_subspace = (float(self.tol_subspace),) * self.n_quadrature
         else:
@@ -237,6 +276,13 @@ class RPAConfig:
         if not 1 <= k <= self.n_quadrature:
             raise ValueError(f"quadrature index {k} out of range 1..{self.n_quadrature}")
         return self.tol_subspace[k - 1]
+
+    def ssa_refresh_tol_for(self, k: int) -> float:
+        """SSA refresh threshold for point ``k``: the configured value, or
+        the point's own subspace tolerance when ``ssa_refresh_tol`` is None."""
+        if self.ssa_refresh_tol is not None:
+            return self.ssa_refresh_tol
+        return self.tol_subspace_for(k)
 
 
 PAPER_PARAMS = PaperParams()

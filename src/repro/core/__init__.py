@@ -15,6 +15,7 @@ from repro.core.chi0_direct import (
 from repro.core.dielectric import (
     DielectricSpectrum,
     dielectric_matrix_dense,
+    dielectric_spectra_ssa,
     dielectric_spectrum,
     screened_interaction_dense,
 )
@@ -29,7 +30,17 @@ from repro.core.quadrature import (
     FrequencyQuadrature,
     transformed_gauss_legendre,
 )
-from repro.core.rpa_energy import OmegaPointResult, RPAEnergyResult, compute_rpa_energy
+from repro.core.rpa_energy import (
+    FrequencyPointStats,
+    OmegaPointResult,
+    RPAEnergyResult,
+    compute_rpa_energy,
+)
+from repro.core.ssa import (
+    SUBSPACE_MODES,
+    exterior_eigenvalue_estimate,
+    frozen_subspace_point,
+)
 from repro.core.sternheimer import Chi0Operator, SternheimerStats
 from repro.core.subspace import SubspaceResult, filtered_subspace_iteration
 from repro.core.trace import (
@@ -48,6 +59,7 @@ __all__ = [
     "truncated_trapezoid",
     "DielectricSpectrum",
     "dielectric_spectrum",
+    "dielectric_spectra_ssa",
     "dielectric_matrix_dense",
     "screened_interaction_dense",
     "build_chi0_dense",
@@ -62,7 +74,11 @@ __all__ = [
     "stochastic_lanczos_trace",
     "block_lanczos_trace",
     "hutchinson_trace",
+    "FrequencyPointStats",
     "OmegaPointResult",
+    "SUBSPACE_MODES",
+    "exterior_eigenvalue_estimate",
+    "frozen_subspace_point",
     "RPAEnergyResult",
     "compute_rpa_energy",
     "DirectRPAResult",

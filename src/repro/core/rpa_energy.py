@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.config import RPAConfig
 from repro.core.quadrature import FrequencyQuadrature, transformed_gauss_legendre
+from repro.core.ssa import frozen_subspace_point
 from repro.core.sternheimer import Chi0Operator, SternheimerStats
 from repro.core.subspace import SubspaceResult, filtered_subspace_iteration
 from repro.core.trace import (
@@ -36,7 +37,7 @@ from repro.verify.invariants import get_verifier, use_verifier, verifier_for_lev
 
 
 @dataclass
-class OmegaPointResult:
+class FrequencyPointStats:
     """Per-quadrature-point record (one block of the paper's output log)."""
 
     index: int
@@ -50,11 +51,23 @@ class OmegaPointResult:
     elapsed_seconds: float
     skipped_filtering: bool
     solve_error_bound: float = 0.0  # operator-norm bound from degraded solves
+    #: How the subspace at this point was obtained: ``"filtered"`` (>= 1
+    #: Chebyshev pass), ``"warm"`` (warm start satisfied Eq. 7 immediately),
+    #: ``"frozen"`` / ``"refreshed"`` (SSA, repro.core.ssa). Disambiguates
+    #: ``filter_iterations == 0``, which ``skipped_filtering`` overloaded.
+    subspace_mode: str = "filtered"
+    #: First-order bound on the energy-term error of an accepted SSA point
+    #: (zero on the exact filtered path).
+    ssa_error_bound: float = 0.0
 
     @property
     def energy_contribution(self) -> float:
         """Weighted contribution ``w_k E_k / (2 pi)``."""
         return self.weight * self.energy_term / (2.0 * np.pi)
+
+
+#: Historical name, kept as an alias for downstream consumers.
+OmegaPointResult = FrequencyPointStats
 
 
 @dataclass
@@ -63,7 +76,7 @@ class RPAEnergyResult:
 
     energy: float
     energy_per_atom: float
-    points: list[OmegaPointResult]
+    points: list[FrequencyPointStats]
     quadrature: FrequencyQuadrature
     stats: SternheimerStats
     timers: KernelTimers
@@ -97,11 +110,22 @@ class RPAEnergyResult:
 
     def summary(self) -> str:
         """Paper-style output block (cf. the artifact's Si8.out)."""
-        lines = ["omega    weight    E_k (Ha)      iters  err        time(s)"]
+        lines = ["omega    weight    E_k (Ha)      iters  err        time(s)  mode"]
         for p in self.points:
             lines.append(
                 f"{p.omega:8.3f} {p.weight:8.3f} {p.energy_term: .6e} "
                 f"{p.filter_iterations:5d}  {p.error:.3e}  {p.elapsed_seconds:7.2f}"
+                f"  {p.subspace_mode}"
+            )
+        n_frozen = sum(p.subspace_mode == "frozen" for p in self.points)
+        n_refreshed = sum(p.subspace_mode == "refreshed" for p in self.points)
+        if n_frozen or n_refreshed:
+            ssa_bound = sum(
+                p.weight * p.ssa_error_bound / (2.0 * np.pi) for p in self.points
+            )
+            lines.append(
+                f"SSA: {n_frozen} frozen, {n_refreshed} refreshed point(s); "
+                f"first-order energy bound {ssa_bound:.3e} (Ha)"
             )
         lines.append(
             f"Total RPA correlation energy: {self.energy:.5e} (Ha), "
@@ -216,7 +240,9 @@ def compute_rpa_energy(
         V = rng.standard_normal((n_d, config.n_eig))
 
     energy = 0.0
-    points: list[OmegaPointResult] = []
+    points: list[FrequencyPointStats] = []
+    prev_bounds: tuple[float, float, float] | None = None
+    prev_sub: SubspaceResult | None = None
     with ExitStack() as stack:
         # Install the invariant checker for the duration of the sweep.
         # An already-active verifier (e.g. installed by the differential
@@ -252,17 +278,74 @@ def compute_rpa_energy(
 
             if recorder.enabled:
                 recorder.point_started(k, omega)
+            # SSA: every point after the reference (k = 1, largest omega)
+            # reuses the frozen basis — provided the previous point actually
+            # produced a converged one to freeze.
+            ssa_point = (config.use_ssa and k > 1
+                         and prev_sub is not None and prev_sub.converged)
             with tracer.span("omega_point", index=k, omega=omega,
                              weight=weight) as sp:
-                sub: SubspaceResult = filtered_subspace_iteration(
-                    apply_op,
-                    V,
-                    tol=config.tol_subspace_for(k),
-                    degree=config.filter_degree,
-                    max_iterations=config.max_filter_iterations,
-                    timers=timers,
-                    on_rotation=recycler.rotate if recycler is not None else None,
-                )
+                if ssa_point:
+                    sub: SubspaceResult = frozen_subspace_point(
+                        apply_op,
+                        V,
+                        refresh_tol=config.ssa_refresh_tol_for(k),
+                        degree=config.filter_degree,
+                        max_refresh_passes=config.ssa_refresh_passes,
+                        timers=timers,
+                        on_rotation=(recycler.rotate_frozen
+                                     if recycler is not None else None),
+                        bounds_seed=prev_bounds,
+                        recycler=recycler,
+                    )
+                    if sub.guard_triggered or not sub.converged:
+                        # SSA acceptance rejected — the refresh budget ran
+                        # out, or the exterior-eigenvalue guard found a
+                        # screening channel the frozen span missed. Redo
+                        # the point with full filtering (warm-started from
+                        # the refined basis) so accepted energies never
+                        # carry an unguarded approximation.
+                        if tracer.enabled:
+                            tracer.incr("ssa_fallback_points")
+                        V_fb = sub.vectors
+                        if sub.guard_vector is not None:
+                            # Inject the guard probe's Ritz vector (already
+                            # orthogonal to the span) in place of the least
+                            # important column: the missed channel enters
+                            # the warm start with O(1) overlap instead of
+                            # ~0, collapsing the fallback iteration count.
+                            V_fb = sub.vectors.copy()
+                            V_fb[:, -1] = sub.guard_vector
+                            if recycler is not None:
+                                # The column swap is not a rotation of the
+                                # old block, so cached solves no longer
+                                # correspond to the RHS they claim to.
+                                recycler.clear()
+                        sub = filtered_subspace_iteration(
+                            apply_op,
+                            V_fb,
+                            tol=config.tol_subspace_for(k),
+                            degree=config.filter_degree,
+                            max_iterations=config.max_filter_iterations,
+                            timers=timers,
+                            on_rotation=(recycler.rotate
+                                         if recycler is not None else None),
+                            bounds_seed=prev_bounds,
+                        )
+                else:
+                    sub = filtered_subspace_iteration(
+                        apply_op,
+                        V,
+                        tol=config.tol_subspace_for(k),
+                        degree=config.filter_degree,
+                        max_iterations=config.max_filter_iterations,
+                        timers=timers,
+                        on_rotation=recycler.rotate if recycler is not None else None,
+                        bounds_seed=prev_bounds if config.use_ssa else None,
+                    )
+                if config.use_ssa:
+                    prev_bounds = sub.filter_bounds or prev_bounds
+                    prev_sub = sub
                 if config.use_warm_start:
                     V = sub.vectors
                 elif recycler is not None:
@@ -290,7 +373,8 @@ def compute_rpa_energy(
                     chi0_operator.stats.degraded_error_bound - bound_before
                 )
                 sp.set(energy_term=e_k, filter_iterations=sub.iterations,
-                       error=sub.error, converged=sub.converged)
+                       error=sub.error, converged=sub.converged,
+                       subspace_mode=sub.subspace_mode)
                 if point_bound > 0.0:
                     sp.set(solve_error_bound=point_bound)
             if recorder.enabled:
@@ -299,14 +383,17 @@ def compute_rpa_energy(
                     energy_term=e_k, converged=sub.converged,
                     iterations=sub.iterations, error=sub.error,
                     error_history=sub.error_history,
+                    subspace_mode=sub.subspace_mode,
                 )
             if tracer.enabled:
                 tracer.incr("omega_points")
                 if sub.iterations == 0:
                     tracer.incr("omega_points_skipped_filtering")
+                if sub.subspace_mode in ("frozen", "refreshed"):
+                    tracer.incr(f"omega_points_{sub.subspace_mode}")
             energy += weight * e_k / (2.0 * np.pi)
             points.append(
-                OmegaPointResult(
+                FrequencyPointStats(
                     index=k,
                     omega=omega,
                     weight=weight,
@@ -318,6 +405,8 @@ def compute_rpa_energy(
                     elapsed_seconds=time.perf_counter() - t0,
                     skipped_filtering=sub.iterations == 0,
                     solve_error_bound=point_bound,
+                    subspace_mode=sub.subspace_mode,
+                    ssa_error_bound=sub.ssa_error_bound,
                 )
             )
 

@@ -43,6 +43,27 @@ class SubspaceResult:
     error: float
     error_history: list[float] = field(default_factory=list)
     converged: bool = False
+    #: How the subspace was obtained: ``"filtered"`` (>= 1 Chebyshev pass),
+    #: ``"warm"`` (the initial Rayleigh-Ritz already satisfied Eq. 7 and
+    #: filtering was skipped), ``"frozen"`` / ``"refreshed"`` (the SSA path,
+    #: repro.core.ssa). Disambiguates ``iterations == 0``.
+    subspace_mode: str = "filtered"
+    #: Last Chebyshev ``(low, cut, high)`` bounds used, if any filtering ran;
+    #: callers seed the next quadrature point's bounds from these (the
+    #: spectrum shifts smoothly with omega).
+    filter_bounds: tuple[float, float, float] | None = None
+    #: First-order bound on the energy-term error of an accepted SSA point
+    #: (repro.core.ssa.ssa_error_gauge); 0.0 on the exact filtered path.
+    ssa_error_bound: float = 0.0
+    #: True when the SSA exterior-eigenvalue guard found a deeper eigenvalue
+    #: outside the frozen span (repro.core.ssa) — the point must be redone
+    #: with full filtering; the Ritz values here are *not* the lowest set.
+    guard_triggered: bool = False
+    #: The guard probe's Ritz vector (unit norm, orthogonal to the frozen
+    #: span) when the guard triggered — the recovery direction the fallback
+    #: injects into its warm-start block so the missed channel starts with
+    #: O(1) overlap instead of ~0.
+    guard_vector: "np.ndarray | None" = None
 
 
 def filtered_subspace_iteration(
@@ -54,6 +75,7 @@ def filtered_subspace_iteration(
     timers: KernelTimers | None = None,
     on_iteration: Callable[[int, float, np.ndarray], None] | None = None,
     on_rotation: Callable[[np.ndarray], None] | None = None,
+    bounds_seed: tuple[float, float, float] | None = None,
 ) -> SubspaceResult:
     """Run Algorithm 5 on operator ``apply_op`` starting from block ``v0``.
 
@@ -86,6 +108,12 @@ def filtered_subspace_iteration(
         after each rotation ``V <- V Q``. Consumers that cache quantities
         linear in the operand block (the Sternheimer solve recycler) use it
         to keep their state aligned with the iteration's next operand.
+    bounds_seed:
+        Optional ``(low, cut, high)`` Chebyshev bounds from the previous
+        quadrature point. The spectrum shifts smoothly with omega, so the
+        seeded bounds widen the fresh per-iteration estimates conservatively
+        (see :func:`_filter_bounds`); ``None`` reproduces the historical
+        from-scratch estimates bit-for-bit.
     """
     if tol <= 0:
         raise ValueError("tol must be positive")
@@ -120,11 +148,19 @@ def filtered_subspace_iteration(
     if on_iteration is not None:
         on_iteration(0, err, vals)
     if err <= tol:
-        return SubspaceResult(vals, V, 0, err, history, converged=True)
+        return SubspaceResult(vals, V, 0, err, history, converged=True,
+                              subspace_mode="warm", filter_bounds=bounds_seed)
 
+    # The seed chain only advances when seeding is active, so the unseeded
+    # path keeps the historical from-scratch estimate at every iteration.
+    last_bounds = bounds_seed
+    used_bounds: tuple[float, float, float] | None = None
     for it in range(1, max_iterations + 1):
         with tracer.span("subspace_iteration", iteration=it, degree=degree) as sp:
-            low, cut, high = _filter_bounds(vals)
+            low, cut, high = _filter_bounds(vals, seed=last_bounds)
+            used_bounds = (low, cut, high)
+            if bounds_seed is not None:
+                last_bounds = used_bounds
             V = chebyshev_filter(apply_op, V, degree, low, cut, high)
             W = apply_op(V)
             vals, V, W, Q = _rayleigh_ritz(V, W, timers)
@@ -145,17 +181,29 @@ def filtered_subspace_iteration(
         if on_iteration is not None:
             on_iteration(it, err, vals)
         if err <= tol:
-            return SubspaceResult(vals, V, it, err, history, converged=True)
-    return SubspaceResult(vals, V, max_iterations, err, history, converged=False)
+            return SubspaceResult(vals, V, it, err, history, converged=True,
+                                  filter_bounds=used_bounds)
+    return SubspaceResult(vals, V, max_iterations, err, history, converged=False,
+                          filter_bounds=used_bounds)
 
 
-def _filter_bounds(vals: np.ndarray) -> tuple[float, float, float]:
+def _filter_bounds(
+    vals: np.ndarray,
+    seed: tuple[float, float, float] | None = None,
+) -> tuple[float, float, float]:
     """Chebyshev bounds for a negative-semidefinite, rapidly-decaying spectrum.
 
     Wanted: [vals[0], vals[-1]] (the most negative part). Unwanted: the tail
     clustering at zero, i.e. (vals[-1], 0]. The cut sits just above the
     least-negative kept Ritz value; the upper bound is a small positive
     margin covering the exact upper edge at zero.
+
+    ``seed`` carries the bounds used at the previous quadrature point. The
+    spectrum shifts smoothly with omega, so blending the seed in
+    conservatively (``min`` on the wanted edges, ``max`` on the unwanted
+    edge) keeps the damped interval covering both spectra. The blend is
+    idempotent: on a repeated spectrum the seeded bounds equal the fresh
+    ones exactly.
     """
     v_min, v_max = float(vals[0]), float(vals[-1])
     scale = max(abs(v_min), 1e-12)
@@ -166,6 +214,15 @@ def _filter_bounds(vals: np.ndarray) -> tuple[float, float, float]:
     low = v_min - 0.05 * scale
     if low >= cut:
         low = cut - scale
+    if seed is not None:
+        s_low, s_cut, s_high = seed
+        low = min(low, s_low)
+        cut = min(cut, s_cut)
+        high = max(high, s_high)
+        if cut >= high:
+            cut = 0.5 * high
+        if low >= cut:
+            low = cut - scale
     return low, cut, high
 
 
@@ -183,34 +240,49 @@ def _rayleigh_ritz(
     its lower triangle). For real blocks ``conj()`` is the identity, so the
     historical float path is bit-for-bit unchanged.
     """
+    hs, ms = _rayleigh_ritz_grams(V, W, timers)
+    with timers.region("eigensolve"):
+        vals, Q = _generalized_eigh(hs, ms)
+    with timers.region("matmult"):
+        V = V @ Q
+        W = W @ Q
+    return vals, V, W, Q
+
+
+def _rayleigh_ritz_grams(
+    V: np.ndarray, W: np.ndarray, timers: KernelTimers
+) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetrized sesquilinear Gram matrices ``(H_s, M_s)`` of a block pair.
+
+    Shared by the filtered iteration, the SSA frozen-basis Rayleigh-Ritz
+    (repro.core.ssa) and ``Chi0Operator.apply_projected``.
+    """
     with timers.region("matmult"):
         vh = V.conj().T
         hs = vh @ W
         ms = vh @ V
         hs = 0.5 * (hs + hs.conj().T)
         ms = 0.5 * (ms + ms.conj().T)
-    with timers.region("eigensolve"):
-        try:
-            vals, Q = scipy.linalg.eigh(hs, ms)
-        except (np.linalg.LinAlgError, scipy.linalg.LinAlgError, ValueError):
-            # M_s lost numerical definiteness (the filter aligned columns).
-            # Tikhonov-regularize the Gram matrix; equivalent to damping the
-            # nearly-dependent directions.
-            reg = 1e-12 * max(float(np.trace(ms)) / ms.shape[0], 1.0)
-            for _ in range(6):
-                try:
-                    vals, Q = scipy.linalg.eigh(hs, ms + reg * np.eye(ms.shape[0]))
-                    break
-                except (np.linalg.LinAlgError, scipy.linalg.LinAlgError, ValueError):
-                    reg *= 100.0
-            else:
-                raise RuntimeError(
-                    "generalized Rayleigh-Ritz failed: filtered subspace collapsed"
-                )
-    with timers.region("matmult"):
-        V = V @ Q
-        W = W @ Q
-    return vals, V, W, Q
+    return hs, ms
+
+
+def _generalized_eigh(hs: np.ndarray, ms: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``eigh(hs, ms)`` with the Tikhonov retry loop for ill-conditioned M_s."""
+    try:
+        return scipy.linalg.eigh(hs, ms)
+    except (np.linalg.LinAlgError, scipy.linalg.LinAlgError, ValueError):
+        # M_s lost numerical definiteness (the filter aligned columns).
+        # Tikhonov-regularize the Gram matrix; equivalent to damping the
+        # nearly-dependent directions.
+        reg = 1e-12 * max(float(np.trace(ms)) / ms.shape[0], 1.0)
+        for _ in range(6):
+            try:
+                return scipy.linalg.eigh(hs, ms + reg * np.eye(ms.shape[0]))
+            except (np.linalg.LinAlgError, scipy.linalg.LinAlgError, ValueError):
+                reg *= 100.0
+        raise RuntimeError(
+            "generalized Rayleigh-Ritz failed: filtered subspace collapsed"
+        )
 
 
 def _eq7_error(V: np.ndarray, W: np.ndarray, vals: np.ndarray, timers: KernelTimers) -> float:

@@ -186,7 +186,8 @@ class RunMonitor:
         eta = sweep_eta(points, rec.n_points_total)
         lines = [self._progress_line(eta, rec)]
         if points:
-            lines.append("  k   omega      iters  error      status       decay")
+            lines.append("  k   omega      iters  mode       error      "
+                         "status       decay")
             for p in points:
                 lines.append(self._point_line(p))
         for p in rec.open_points:
@@ -215,9 +216,10 @@ class RunMonitor:
         decay = f"{q:.3f}" if not math.isnan(q) else "  -  "
         err = p.get("error")
         err_s = f"{err:.2e}" if isinstance(err, (int, float)) else "   -    "
+        mode = p.get("subspace_mode") or "-"
         return (f"  {p.get('index', 0):>2}  {p.get('omega', 0.0):<9.4f} "
-                f"{p.get('iterations', 0):>5}  {err_s}  {status:<11}  "
-                f"{decay}  {sparkline(hist)}")
+                f"{p.get('iterations', 0):>5}  {mode:<9}  {err_s}  "
+                f"{status:<11}  {decay}  {sparkline(hist)}")
 
     def _solver_line(self, rec: ConvergenceRecorder) -> str:
         c = rec.counters

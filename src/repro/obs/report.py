@@ -234,12 +234,13 @@ def render_html(events: list[dict], summary: dict, telemetry: dict,
                 f"{p['omega']:.4f}" if p.get("omega") is not None else "-",
                 f"{p['seconds']:.2f}" if p.get("seconds") is not None else "-",
                 p.get("iterations", "-"),
+                p.get("subspace_mode", "-"),
                 "yes" if p.get("converged") else "no",
                 f"{err:.2e}" if isinstance(err, (int, float)) else "-",
                 _svg_sparkline(hist),
             ])
         sections.append(_html_table(
-            ["k", "omega", "seconds", "iters", "converged", "error",
+            ["k", "omega", "seconds", "iters", "mode", "converged", "error",
              "residual decay"],
             rows, "Quadrature sweep (per-frequency convergence)"))
 

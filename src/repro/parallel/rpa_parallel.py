@@ -25,7 +25,7 @@ regenerated from these simulated walltimes.
 from __future__ import annotations
 
 import time
-from contextlib import ExitStack
+from contextlib import ExitStack, nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -68,6 +68,10 @@ class ParallelPointRecord:
     filter_iterations: int
     converged: bool
     simulated_seconds: float
+    #: "filtered" / "warm" / "frozen" / "refreshed" — matches the serial
+    #: driver's FrequencyPointStats.subspace_mode taxonomy.
+    subspace_mode: str = "filtered"
+    ssa_error_bound: float = 0.0
 
 
 @dataclass
@@ -241,6 +245,11 @@ def compute_rpa_energy_parallel(
             # so per-rank convergence behaviour stays separable post-merge.
             with recorder.rank_scope(r):
                 for sl in slices:
+                    # The assignment partitions the full block width; clamp
+                    # to the operand (the SSA guard probes single columns).
+                    sl = slice(sl.start, min(sl.stop, V.shape[1]))
+                    if sl.stop <= sl.start:
+                        continue
                     if recycler is not None:
                         # Each rank solves a disjoint column slice of the same
                         # block; scope the cache to global column offsets so
@@ -263,6 +272,8 @@ def compute_rpa_energy_parallel(
 
     energy = 0.0
     points: list[ParallelPointRecord] = []
+    prev_bounds: tuple[float, float, float] | None = None
+    prev_converged = False
     with ExitStack() as stack:
         # Invariant checking mirrors the serial driver: the config level
         # installs a scoped verifier unless one is already active (e.g. the
@@ -297,18 +308,76 @@ def compute_rpa_energy_parallel(
             t_wall0 = time.perf_counter()
             if recorder.enabled:
                 recorder.point_started(k, omega)
-            vals, V, converged, iters, err_history = _parallel_subspace(
-                rankwise_apply,
-                V,
-                omega,
-                tol=config.tol_subspace_for(k),
-                degree=config.filter_degree,
-                max_iterations=config.max_filter_iterations,
-                phases=phases,
-                machine=machine,
-                p=n_ranks,
-                on_rotation=recycler.rotate if recycler is not None else None,
-            )
+            # SSA: after a converged reference point the frozen basis is
+            # only Rayleigh-Ritzed — same policy as the serial driver.
+            ssa_point = config.use_ssa and k > 1 and prev_converged
+            if ssa_point:
+                (vals, V, converged, iters, err_history, mode,
+                 bounds, ssa_bound, guard_triggered,
+                 guard_vector) = _parallel_frozen_point(
+                    rankwise_apply,
+                    V,
+                    omega,
+                    refresh_tol=config.ssa_refresh_tol_for(k),
+                    degree=config.filter_degree,
+                    max_refresh_passes=config.ssa_refresh_passes,
+                    phases=phases,
+                    machine=machine,
+                    p=n_ranks,
+                    on_rotation=(recycler.rotate_frozen
+                                 if recycler is not None else None),
+                    bounds_seed=prev_bounds,
+                    recycler=recycler,
+                )
+                if guard_triggered or not converged:
+                    # SSA acceptance rejected (refresh budget exhausted or
+                    # the guard found a missed channel): redo the point with
+                    # full filtering, as in the serial driver.
+                    if tracer.enabled:
+                        tracer.incr("ssa_fallback_points")
+                    if guard_vector is not None:
+                        # Inject the guard probe's recovery direction (see
+                        # the serial driver): the missed channel enters the
+                        # fallback warm start with O(1) overlap.
+                        V = V.copy()
+                        V[:, -1] = guard_vector
+                        if recycler is not None:
+                            recycler.clear()
+                    (vals, V, converged, iters, err_history, mode,
+                     bounds) = _parallel_subspace(
+                        rankwise_apply,
+                        V,
+                        omega,
+                        tol=config.tol_subspace_for(k),
+                        degree=config.filter_degree,
+                        max_iterations=config.max_filter_iterations,
+                        phases=phases,
+                        machine=machine,
+                        p=n_ranks,
+                        on_rotation=(recycler.rotate
+                                     if recycler is not None else None),
+                        bounds_seed=prev_bounds,
+                    )
+                    ssa_bound = 0.0
+            else:
+                (vals, V, converged, iters, err_history, mode,
+                 bounds) = _parallel_subspace(
+                    rankwise_apply,
+                    V,
+                    omega,
+                    tol=config.tol_subspace_for(k),
+                    degree=config.filter_degree,
+                    max_iterations=config.max_filter_iterations,
+                    phases=phases,
+                    machine=machine,
+                    p=n_ranks,
+                    on_rotation=recycler.rotate if recycler is not None else None,
+                    bounds_seed=prev_bounds if config.use_ssa else None,
+                )
+                ssa_bound = 0.0
+            if config.use_ssa:
+                prev_bounds = bounds or prev_bounds
+                prev_converged = converged
             e_k = trace_from_eigenvalues(vals)
             if verifier.enabled:
                 verifier.check_trace_identity(vals, e_k, index=k, omega=omega)
@@ -321,13 +390,17 @@ def compute_rpa_energy_parallel(
                     error=err_history[-1] if err_history else None,
                     error_history=err_history,
                     simulated_seconds=simulated,
+                    subspace_mode=mode,
                 )
             if tracer.enabled:
                 # One top-row span per quadrature point on the virtual
                 # timeline, spanning all ranks (rank=None).
                 tracer.record("omega_point", t_point0, end=phases.clocks.elapsed,
                               domain="virtual", index=k, omega=omega,
-                              filter_iterations=iters, converged=converged)
+                              filter_iterations=iters, converged=converged,
+                              subspace_mode=mode)
+                if mode in ("frozen", "refreshed"):
+                    tracer.incr(f"omega_points_{mode}")
             points.append(
                 ParallelPointRecord(
                     index=k,
@@ -337,6 +410,8 @@ def compute_rpa_energy_parallel(
                     filter_iterations=iters,
                     converged=converged,
                     simulated_seconds=simulated,
+                    subspace_mode=mode,
+                    ssa_error_bound=ssa_bound,
                 )
             )
 
@@ -377,6 +452,7 @@ def _parallel_subspace(
     machine: MachineProfile,
     p: int,
     on_rotation=None,
+    bounds_seed=None,
 ):
     verifier = get_verifier()
     errors: list[float] = []
@@ -388,10 +464,15 @@ def _parallel_subspace(
     if verifier.enabled:
         verifier.check_ritz_values(vals, err, driver="parallel", iteration=0)
     if err <= tol:
-        return vals, V, True, 0, errors
+        return vals, V, True, 0, errors, "warm", bounds_seed
 
+    last_bounds = bounds_seed
+    used_bounds = None
     for it in range(1, max_iterations + 1):
-        low, cut, high = _filter_bounds(vals)
+        low, cut, high = _filter_bounds(vals, seed=last_bounds)
+        used_bounds = (low, cut, high)
+        if bounds_seed is not None:
+            last_bounds = used_bounds
         V = chebyshev_filter(lambda B: rankwise_apply(B, omega), V, degree, low, cut, high)
         W = rankwise_apply(V, omega)
         vals, V, W = _parallel_rayleigh_ritz(V, W, phases, machine, p,
@@ -401,14 +482,103 @@ def _parallel_subspace(
         if verifier.enabled:
             verifier.check_ritz_values(vals, err, driver="parallel", iteration=it)
         if err <= tol:
-            return vals, V, True, it, errors
-    return vals, V, False, max_iterations, errors
+            return vals, V, True, it, errors, "filtered", used_bounds
+    return vals, V, False, max_iterations, errors, "filtered", used_bounds
 
 
-def _filter_bounds(vals: np.ndarray) -> tuple[float, float, float]:
+def _parallel_frozen_point(
+    rankwise_apply,
+    V: np.ndarray,
+    omega: float,
+    refresh_tol: float,
+    degree: int,
+    max_refresh_passes: int,
+    phases: _Phases,
+    machine: MachineProfile,
+    p: int,
+    on_rotation=None,
+    bounds_seed=None,
+    recycler=None,
+):
+    """One SSA point on the simulated ranks (repro.core.ssa policy).
+
+    Rayleigh-Ritz in the frozen basis — one distributed apply for the
+    projected Grams — with the same cheap-refresh trigger and
+    exterior-eigenvalue guard as the serial ``frozen_subspace_point``; the
+    energies match the serial SSA path, only the simulated time accounting
+    differs.
+    """
+    from repro.core.ssa import (
+        GUARD_REL_MARGIN,
+        exterior_eigenvalue_estimate,
+        ssa_error_gauge,
+    )
+
+    verifier = get_verifier()
+
+    def run_guard(V_now, vals_now) -> bool:
+        # Same guard as the serial SSA path: probe for a deeper eigenvalue
+        # the span missed (Eq. 7 is blind to emergent screening channels).
+        nonlocal guard_vector
+        # Pause the recycler for the probe applies (unrelated single
+        # vectors at the block's omega must not touch the solve cache).
+        pause = recycler.paused() if recycler is not None else nullcontext()
+        with pause:
+            probe = exterior_eigenvalue_estimate(
+                lambda B: rankwise_apply(B, omega), V_now
+            )
+        if probe is None:
+            return False
+        exterior, exterior_vec = probe
+        margin = GUARD_REL_MARGIN * max(abs(float(vals_now[0])), 1e-300)
+        triggered = exterior < float(vals_now[-1]) - margin
+        if triggered:
+            guard_vector = exterior_vec
+        return triggered
+
+    errors: list[float] = []
+    mode = "frozen"
+    last_bounds = bounds_seed
+    used_bounds = None
+    passes = 0
+    guard_triggered = False
+    guard_vector = None
+    while True:
+        W = rankwise_apply(V, omega)
+        V_raw, W_raw = V, W  # pre-rotation operands for the independent check
+        vals, V, W = _parallel_rayleigh_ritz(V, W, phases, machine, p,
+                                             on_rotation=on_rotation)
+        err = _parallel_eq7(V, W, vals, phases, machine, p)
+        errors.append(err)
+        if verifier.enabled:
+            verifier.check_ritz_values(vals, err, driver="parallel",
+                                       subspace_mode=mode, iteration=passes)
+            verifier.check_frozen_trace_identity(V_raw, W_raw, vals,
+                                                 driver="parallel",
+                                                 subspace_mode=mode,
+                                                 iteration=passes)
+        if err <= refresh_tol or passes >= max_refresh_passes:
+            # Guard at acceptance only (serial policy): pre-refresh drift
+            # is indistinguishable from a missed channel.
+            guard_triggered = run_guard(V, vals)
+            break
+        mode = "refreshed"
+        passes += 1
+        low, cut, high = _filter_bounds(vals, seed=last_bounds)
+        used_bounds = (low, cut, high)
+        last_bounds = used_bounds
+        V = chebyshev_filter(lambda B: rankwise_apply(B, omega), V, degree,
+                             low, cut, high)
+    residual_norms = np.linalg.norm(W - V * vals, axis=0)
+    bound = ssa_error_gauge(vals, residual_norms)
+    return (vals, V, bool(err <= refresh_tol), passes, errors, mode,
+            used_bounds, bound, guard_triggered, guard_vector)
+
+
+def _filter_bounds(vals: np.ndarray, seed=None) -> tuple[float, float, float]:
     from repro.core.subspace import _filter_bounds as bounds
 
-    return bounds(vals)
+    return bounds(vals, seed=seed)
 
 
 def _parallel_rayleigh_ritz(V, W, phases: _Phases, machine: MachineProfile, p: int,

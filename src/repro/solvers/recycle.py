@@ -50,6 +50,7 @@ class RecycleStats:
     stores: int = 0
     skipped_stores: int = 0  # unconverged / width-mismatched / paused
     rotations: int = 0
+    frozen_rotations: int = 0  # subset of rotations from SSA frozen-basis RR
     dropped: int = 0  # entries evicted by an incompatible rotation
 
     @property
@@ -65,6 +66,7 @@ class RecycleStats:
             "stores": self.stores,
             "skipped_stores": self.skipped_stores,
             "rotations": self.rotations,
+            "frozen_rotations": self.frozen_rotations,
             "dropped": self.dropped,
         }
 
@@ -274,6 +276,21 @@ class SolveRecycler:
         tracer = get_tracer()
         if tracer.enabled:
             tracer.incr("recycle_rotations")
+
+    def rotate_frozen(self, q: np.ndarray) -> None:
+        """Rotation hook for the SSA frozen-basis Rayleigh-Ritz.
+
+        The frozen path still rotates ``V <- V Q`` at every quadrature
+        point, so the same linearity contract as :meth:`rotate` applies —
+        cached cross-frequency seeds stay aligned with the frozen basis as
+        it drifts through the sweep. Counted separately so telemetry can
+        attribute cache alignment to the static-subspace path.
+        """
+        self.rotate(q)
+        self.stats.frozen_rotations += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.incr("recycle_frozen_rotations")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"SolveRecycler(width={self.width}, "

@@ -11,9 +11,11 @@ exercised on every code path at the same time.
 
 The harness also validates the *checker*: it injects one deliberate fault
 per invariant class — an asymmetric Sternheimer operator, a solver that
-lies about convergence, and a recycler whose rotation is corrupted — and
-asserts that the corresponding ``verify_*`` failure counter fires. A
-verification layer that cannot catch a planted bug is worse than none.
+lies about convergence, a recycler whose rotation is corrupted, a batched
+operator that drops an orbital's shift, and an SSA Rayleigh-Ritz that
+reuses a stale basis without re-orthonormalization — and asserts that the
+corresponding ``verify_*`` failure counter fires. A verification layer
+that cannot catch a planted bug is worse than none.
 
 The report is machine-readable JSON; exit status is nonzero when any
 configuration misses the oracle, any invariant check fails on a clean
@@ -62,7 +64,8 @@ HARNESS_SEED = 7
 
 #: The full configuration matrix: backend x recycling x preconditioner x
 #: resilience (24 runs), plus the batched x solve-dtype axes (each backend
-#: run with the fused multi-orbital kernel at float64 and float32+IR).
+#: run with the fused multi-orbital kernel at float64 and float32+IR) and
+#: the SSA axis (each backend with the frequency-shared eigenbasis on).
 #: ``--quick`` keeps one covering subset per backend.
 BACKENDS = ("serial", "mpi", "process")
 SOLVE_DTYPES = ("float64", "float32_ir")
@@ -86,8 +89,15 @@ def build_tiny_system():
 
 def harness_config(recycling: bool, preconditioner: bool,
                    resilience: bool, batched: bool = False,
-                   dtype: str = "float64") -> RPAConfig:
-    """One cell of the matrix, at oracle-grade tolerances."""
+                   dtype: str = "float64", ssa: bool = False) -> RPAConfig:
+    """One cell of the matrix, at oracle-grade tolerances.
+
+    SSA cells keep the config's default refresh settings (tol 1e-6 with a
+    12-pass budget): an accepted SSA point's energy error is second order
+    in the refresh residual, and rejected points (budget exhausted or the
+    exterior-eigenvalue guard fired) fall back to full filtering, so the
+    pinned oracle tolerance holds without SSA-specific retuning.
+    """
     return RPAConfig(
         n_eig=HARNESS_N_EIG,
         n_quadrature=HARNESS_N_QUAD,
@@ -101,26 +111,28 @@ def harness_config(recycling: bool, preconditioner: bool,
         resilience=ResilienceConfig() if resilience else None,
         batched_sternheimer=batched,
         solve_dtype=dtype,
+        use_ssa=ssa,
         seed=HARNESS_SEED,
     )
 
 
 def configuration_matrix(quick: bool = False):
-    """``(backend, recycling, precond, resilience, batched, dtype)`` tuples."""
+    """``(backend, recycling, precond, resilience, batched, dtype, ssa)``."""
     if quick:
         return [
-            ("serial", False, False, False, False, "float64"),
-            ("serial", True, True, True, False, "float64"),
-            ("serial", True, False, False, True, "float32_ir"),
-            ("mpi", False, False, False, False, "float64"),
-            ("mpi", True, False, True, False, "float64"),
-            ("mpi", True, False, False, True, "float64"),
-            ("process", False, False, False, False, "float64"),
-            ("process", True, True, False, False, "float64"),
-            ("process", True, False, False, True, "float32_ir"),
+            ("serial", False, False, False, False, "float64", False),
+            ("serial", True, True, True, False, "float64", False),
+            ("serial", True, False, False, True, "float32_ir", False),
+            ("serial", True, False, False, True, "float64", True),
+            ("mpi", False, False, False, False, "float64", False),
+            ("mpi", True, False, True, False, "float64", False),
+            ("mpi", True, False, False, True, "float64", True),
+            ("process", False, False, False, False, "float64", False),
+            ("process", True, True, False, False, "float64", False),
+            ("process", True, False, False, True, "float32_ir", True),
         ]
     matrix = [
-        (backend, recycling, precond, resilience, False, "float64")
+        (backend, recycling, precond, resilience, False, "float64", False)
         for backend in BACKENDS
         for recycling in (False, True)
         for precond in (False, True)
@@ -130,19 +142,32 @@ def configuration_matrix(quick: bool = False):
     # backend (recycling on: the batched route must keep feeding the
     # per-orbital recycler for these to pass).
     matrix += [
-        (backend, True, False, False, True, dtype)
+        (backend, True, False, False, True, dtype, False)
         for backend in BACKENDS
         for dtype in SOLVE_DTYPES
+    ]
+    # The frequency-shared eigenbasis (SSA) on every backend — composed
+    # with the batched kernel and recycling (the frozen-basis rotation
+    # hook must keep the recycler aligned), plus the serial SSA cell at
+    # float32+IR and an SSA-without-recycling cell to cover both rotation
+    # paths.
+    matrix += [
+        (backend, True, False, False, True, "float64", True)
+        for backend in BACKENDS
+    ]
+    matrix += [
+        ("serial", True, False, False, True, "float32_ir", True),
+        ("serial", False, False, False, True, "float64", True),
     ]
     return matrix
 
 
 def run_one(dft, coulomb, backend: str, recycling: bool, preconditioner: bool,
             resilience: bool, batched: bool = False, dtype: str = "float64",
-            level: str = "cheap") -> dict:
+            ssa: bool = False, level: str = "cheap") -> dict:
     """Run one configuration under a fresh verifier; return its record."""
     config = harness_config(recycling, preconditioner, resilience,
-                            batched=batched, dtype=dtype)
+                            batched=batched, dtype=dtype, ssa=ssa)
     verifier = Verifier(level=level)
     t0 = time.perf_counter()
     with use_verifier(verifier):
@@ -187,6 +212,7 @@ def run_one(dft, coulomb, backend: str, recycling: bool, preconditioner: bool,
         "resilience": resilience,
         "batched": batched,
         "solve_dtype": dtype,
+        "ssa": ssa,
         "energy": float(energy),
         "converged": bool(converged),
         "n_matvec": int(n_matvec),
@@ -337,6 +363,46 @@ def _inject_dropped_shift(dft, coulomb, level: str) -> dict:
                          verifier, tracer)
 
 
+def _stale_ssa_rayleigh_ritz(v, w, timers):
+    """A frozen-basis Rayleigh-Ritz that reuses the basis without
+    re-orthonormalizing: it rescales the block columns (the shape of a
+    stale reference basis carried across omega without renormalization)
+    and then solves the *standard* eigenproblem, silently dropping ``M_s``.
+    The Ritz values are consistent with the corrupted pencil, so the
+    residual-based Eq. 7 check stays quiet — only the independent
+    frozen-basis trace identity can see the mismatch.
+    """
+    from repro.core.subspace import _rayleigh_ritz_grams
+
+    scale = np.linspace(1.0, 1.8, v.shape[1])
+    vs, ws = v * scale, w * scale
+    hs, ms = _rayleigh_ritz_grams(vs, ws, timers)
+    del ms  # the planted bug: M_s != I is ignored
+    vals, q = np.linalg.eigh(hs)
+    return vals, vs @ q, ws @ q, q
+
+
+def _inject_stale_ssa_basis(dft, coulomb, level: str) -> dict:
+    import repro.core.ssa as ssa_mod
+
+    verifier = Verifier(level=level)
+    tracer = Tracer()
+    config = harness_config(recycling=True, preconditioner=False,
+                            resilience=False, batched=True, ssa=True)
+    original = ssa_mod._frozen_rayleigh_ritz
+    ssa_mod._frozen_rayleigh_ritz = _stale_ssa_rayleigh_ritz
+    try:
+        with use_tracer(tracer), use_verifier(verifier):
+            try:
+                compute_rpa_energy(dft, config, coulomb=coulomb)
+            except Exception:
+                pass  # downstream blow-ups are fine; the check must fire
+    finally:
+        ssa_mod._frozen_rayleigh_ritz = original
+    return _fault_record("stale_ssa_basis", "trace_identity",
+                         verifier, tracer)
+
+
 def _fault_record(fault: str, check: str, verifier: Verifier,
                   tracer: Tracer) -> dict:
     counter = f"verify_{check}_failures"
@@ -358,6 +424,7 @@ FAULT_INJECTIONS = (
     _inject_fake_converged_solve,
     _inject_broken_rotation,
     _inject_dropped_shift,
+    _inject_stale_ssa_basis,
 )
 
 
@@ -385,11 +452,11 @@ def run_harness(level: str = "cheap", quick: bool = False,
 
     configs = []
     all_ok = True
-    for (backend, recycling, precond, resilience, batched,
-         dtype) in configuration_matrix(quick):
+    for (backend, recycling, precond, resilience, batched, dtype,
+         ssa) in configuration_matrix(quick):
         record = run_one(dft, coulomb, backend, recycling, precond,
                          resilience, batched=batched, dtype=dtype,
-                         level=level)
+                         ssa=ssa, level=level)
         record["oracle_energy"] = float(oracle.energy)
         record["abs_error"] = abs(record["energy"] - oracle.energy)
         record["tolerance"] = tolerance
@@ -401,7 +468,7 @@ def run_harness(level: str = "cheap", quick: bool = False,
         all_ok = all_ok and record["ok"]
         say(f"{backend:8s} recycle={int(recycling)} precond={int(precond)} "
             f"resilience={int(resilience)} batched={int(batched)} "
-            f"dtype={dtype}: E={record['energy']:+.9e} "
+            f"dtype={dtype} ssa={int(ssa)}: E={record['energy']:+.9e} "
             f"|dE|={record['abs_error']:.2e} "
             f"checks={record['verify']['checks_run']} "
             f"{'ok' if record['ok'] else 'FAIL'}")

@@ -503,6 +503,60 @@ class Verifier:
                 eigen_route=energy_term, dielectric_route=via_eps, **context)
         return self._passed("trace_identity")
 
+    def check_frozen_trace_identity(self, v: np.ndarray, w: np.ndarray,
+                                    mu: np.ndarray, rtol: float = 1e-8,
+                                    **context) -> bool:
+        """SSA guard: the frozen-basis trace identity, recomputed from the
+        raw block pair.
+
+        The SSA accepts Ritz values from a generalized Rayleigh-Ritz in a
+        *reused* basis; the two trace routes of ``check_trace_identity``
+        share those values, so they cannot see a basis that was mishandled
+        upstream. This check re-derives the dielectric route independently:
+        from the operands ``(V, W = A V)`` actually fed to the production
+        Rayleigh-Ritz it rebuilds the Gram pencil and solves
+        ``(M_s - H_s) Q = M_s Q E`` — whose eigenvalues are exactly the
+        dielectric values ``eps = 1 - mu`` *of the true subspace*, metric
+        included. Production ``mu`` from a stale basis reused without
+        re-orthonormalization (``M_s`` silently taken as the identity)
+        disagree by the full basis drift and are caught here.
+        """
+        import scipy.linalg
+
+        mu = np.asarray(mu, dtype=float)
+        vh = v.conj().T
+        hs = vh @ w
+        ms = vh @ v
+        hs = 0.5 * (hs + hs.conj().T)
+        ms = 0.5 * (ms + ms.conj().T)
+        try:
+            eps = scipy.linalg.eigh(ms - hs, ms, eigvals_only=True)
+        except (np.linalg.LinAlgError, scipy.linalg.LinAlgError, ValueError):
+            return self._failed(
+                "trace_identity",
+                "frozen-basis Gram pencil is numerically singular: the "
+                "reused basis has collapsed",
+                **context)
+        eps = np.asarray(eps, dtype=float)
+        if np.any(eps <= 0) or np.any(1.0 - mu <= 0):
+            return self._failed(
+                "trace_identity",
+                f"frozen-basis dielectric eigenvalue <= 0 "
+                f"(min eps = {float(eps.min()):.6e}): the RPA integrand is "
+                f"undefined in the reused basis",
+                eps_min=float(eps.min()), **context)
+        via_eps = float(np.sum(np.log(eps) + (1.0 - eps)))
+        via_mu = float(np.sum(np.log(1.0 - mu) + mu))
+        scale = max(abs(via_eps), abs(via_mu), 1e-300)
+        if abs(via_eps - via_mu) > max(rtol * scale, 1e-12):
+            return self._failed(
+                "trace_identity",
+                f"frozen-basis Eq. 1 trace {via_mu:.12e} disagrees with the "
+                f"independently recomputed dielectric route {via_eps:.12e} "
+                f"(stale basis reused without re-orthonormalization?)",
+                eigen_route=via_mu, dielectric_route=via_eps, **context)
+        return self._passed("trace_identity")
+
 
 class NullVerifier:
     """Disabled verifier: one shared instance, every check is unreachable.

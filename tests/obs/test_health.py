@@ -150,6 +150,31 @@ class TestRunMonitor:
         assert "solves 1" in frame and "matvecs 3" in frame
         assert "█" in frame  # sparkline present
 
+    def test_render_subspace_mode_column(self):
+        rec = ConvergenceRecorder()
+        rec.sweep_started(3)
+        rec.point_finished(0, omega=49.0, seconds=2.0, converged=True,
+                          iterations=21, error=1e-9, subspace_mode="filtered",
+                          error_history=geometric(0.4, n=5))
+        rec.point_finished(1, omega=1.0, seconds=0.4, converged=True,
+                          iterations=0, error=2e-7, subspace_mode="frozen")
+        rec.point_finished(2, omega=0.1, seconds=0.6, converged=True,
+                          iterations=3, error=8e-8, subspace_mode="refreshed")
+        frame = RunMonitor(rec).render()
+        header = next(l for l in frame.splitlines() if "iters" in l)
+        assert "mode" in header
+        assert "filtered" in frame
+        assert "frozen" in frame
+        assert "refreshed" in frame
+
+    def test_render_without_mode_shows_placeholder(self):
+        rec = ConvergenceRecorder()
+        rec.sweep_started(1)
+        rec.point_finished(0, omega=0.5, seconds=1.0, converged=True,
+                          iterations=4, error=1e-8)
+        line = RunMonitor(rec).render().splitlines()[2]
+        assert " -" in line  # mode column degrades to a dash
+
     def test_start_stop_emits_frames(self):
         stream = io.StringIO()
         mon = RunMonitor(self._recorder(), stream=stream, interval=0.01)

@@ -164,6 +164,22 @@ class TestHtmlReport:
         assert "recycle_guess_residual" in html  # gauge aggregates section
         assert "Per-(orbital, omega)" in html
 
+    def test_html_sweep_table_renders_subspace_mode(self, tmp_path):
+        from repro.obs.report import render_html
+        from repro.obs.telemetry import ConvergenceRecorder
+
+        rec = ConvergenceRecorder()
+        rec.sweep_started(3)
+        for k, (omega, mode) in enumerate(
+                ((49.0, "filtered"), (1.0, "frozen"), (0.1, "refreshed"))):
+            rec.point_finished(k, omega=omega, seconds=1.0, converged=True,
+                              iterations=0 if mode == "frozen" else 3,
+                              error=1e-8, subspace_mode=mode)
+        html = render_html([], {}, rec.payload())
+        assert "<th>mode</th>" in html
+        for mode in ("filtered", "frozen", "refreshed"):
+            assert f"<td>{mode}</td>" in html
+
     def test_html_degrades_without_telemetry(self, tmp_path, capsys):
         tr = Tracer(clock=FakeClock(0.25))
         with tr.region("chi0_apply"):
