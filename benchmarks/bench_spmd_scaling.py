@@ -1,0 +1,184 @@
+"""Shared-memory SPMD backend — wall-clock strong scaling (Figure 4 style).
+
+Unlike ``bench_fig4_strong_scaling.py`` (virtual clocks + calibrated cost
+models), this measures *real elapsed time*: the serial driver, then the
+SPMD backend at 1, 2 and 4 worker processes, on the scaled Si8 system
+with a solve-dominated configuration (tight Sternheimer tolerance, four
+quadrature points). All timings are honest measurements on this machine —
+nothing is extrapolated.
+
+The sweep is deliberately *fixed-work*: the tight ``tol_subspace`` is
+unreachable within the filter-iteration cap on this system, so every
+quadrature point runs the cap's worth of Chebyshev passes — identical
+deterministic work at every backend and worker count, which is exactly
+what a strong-scaling measurement wants. The per-point ``converged``
+flags therefore read False by design; what matters (and is recorded) is
+that they *match the serial driver's flags* point for point, alongside
+the energy agreement.
+
+Acceptance criteria (ISSUE 10): >= 2.5x wall-clock speedup on 4 workers
+vs the serial driver, with energy agreement <= 1e-9 Ha/atom at every
+worker count. The speedup criterion is asserted only when the machine
+exposes >= 4 usable cores (``os.sched_getaffinity``); on smaller runners
+the result is recorded with ``cpu_limited: true`` and only the energy
+agreement is enforced. For meaningful numbers, pin BLAS threading
+(``OMP_NUM_THREADS=1``) so the serial baseline is not itself
+multi-threaded; the recorded payload captures the thread settings in use.
+
+Results land in ``BENCH_spmd.json`` at the repository root (and
+``benchmarks/out/`` as text) for the CI bench-regress artifact.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.config import RPAConfig
+from repro.core import compute_rpa_energy
+from repro.parallel import compute_rpa_energy_parallel
+
+from benchmarks.conftest import write_report
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULT_JSON = REPO_ROOT / "BENCH_spmd.json"
+
+N_EIG = 16
+N_QUADRATURE = 4
+TOL_STERNHEIMER = 1e-10
+TOL_SUBSPACE = 1e-8
+WORKER_COUNTS = (1, 2, 4)
+SPEEDUP_MIN_4W = 2.5
+ENERGY_AGREEMENT_MAX = 1e-9
+MIN_CORES_FOR_SPEEDUP = 4
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _config() -> RPAConfig:
+    return RPAConfig(n_eig=N_EIG, n_quadrature=N_QUADRATURE, seed=1,
+                     tol_sternheimer=TOL_STERNHEIMER,
+                     tol_subspace=TOL_SUBSPACE)
+
+
+def _measure(dft, coulomb):
+    cfg = _config()
+    t0 = time.perf_counter()
+    serial = compute_rpa_energy(dft, cfg, coulomb=coulomb)
+    serial_wall = time.perf_counter() - t0
+    runs = {}
+    for p in WORKER_COUNTS:
+        t0 = time.perf_counter()
+        par = compute_rpa_energy_parallel(dft, cfg, coulomb=coulomb,
+                                          backend="spmd", n_workers=p)
+        runs[p] = (par, time.perf_counter() - t0)
+    return serial, serial_wall, runs
+
+
+def test_spmd_strong_scaling(benchmark, si8_small):
+    dft, coulomb = si8_small
+    n_cores = _usable_cores()
+    cpu_limited = n_cores < MIN_CORES_FOR_SPEEDUP
+
+    serial, serial_wall, runs = benchmark.pedantic(
+        lambda: _measure(dft, coulomb), rounds=1, iterations=1)
+
+    serial_flags = [bool(pt.converged) for pt in serial.points]
+    points = []
+    deviations = {}
+    for p in WORKER_COUNTS:
+        par, wall = runs[p]
+        de = abs(par.energy_per_atom - serial.energy_per_atom)
+        deviations[p] = de
+        points.append({
+            "workers": p,
+            "wall_seconds": wall,
+            "speedup": serial_wall / wall,
+            "efficiency": serial_wall / wall / p,
+            "comm_seconds": par.comm_seconds,
+            "imbalance_seconds": par.imbalance_seconds,
+            "energy_ha_per_atom": par.energy_per_atom,
+            "deviation_ha_per_atom": de,
+            "converged": par.converged,
+            "converged_matches_serial":
+                [bool(pt.converged) for pt in par.points] == serial_flags,
+        })
+    speedup_4w = serial_wall / runs[4][1]
+    energy_ok = all(de <= ENERGY_AGREEMENT_MAX for de in deviations.values())
+    flags_ok = all(rec["converged_matches_serial"] for rec in points)
+    speedup_ok = cpu_limited or speedup_4w >= SPEEDUP_MIN_4W
+
+    payload = {
+        "benchmark": "spmd_scaling",
+        "system": dft.crystal.label,
+        "n_points": dft.grid.n_points,
+        "n_occupied": dft.n_occupied,
+        "sweep": {
+            "n_eig": N_EIG,
+            "n_quadrature": N_QUADRATURE,
+            "tol_sternheimer": TOL_STERNHEIMER,
+            "tol_subspace": TOL_SUBSPACE,
+        },
+        "machine": {
+            "usable_cores": n_cores,
+            "cpu_limited": cpu_limited,
+            "omp_num_threads": os.environ.get("OMP_NUM_THREADS"),
+            "openblas_num_threads": os.environ.get("OPENBLAS_NUM_THREADS"),
+        },
+        "serial": {
+            "wall_seconds": serial_wall,
+            "energy_ha_per_atom": serial.energy_per_atom,
+            "converged": serial.converged,
+            "fixed_work_note": "tol_subspace is unreachable within the "
+                               "filter-iteration cap on this system, so "
+                               "every point runs identical capped work; "
+                               "spmd flags must match serial's per point",
+        },
+        "spmd": points,
+        "criteria": {
+            "speedup_min_4_workers": SPEEDUP_MIN_4W,
+            "energy_agreement_max_ha_per_atom": ENERGY_AGREEMENT_MAX,
+            "speedup_asserted": not cpu_limited,
+        },
+        "passed": bool(energy_ok and flags_ok and speedup_ok),
+    }
+    RESULT_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    benchmark.extra_info.update(speedup_4_workers=speedup_4w,
+                                cpu_limited=cpu_limited)
+
+    lines = [
+        f"SPMD strong scaling ({dft.crystal.label}, "
+        f"n_d = {dft.grid.n_points}, n_eig = {N_EIG}, "
+        f"{N_QUADRATURE}-point sweep, {n_cores} usable core(s))",
+        f"serial:      {serial_wall:8.1f} s",
+    ]
+    for rec in points:
+        lines.append(
+            f"spmd p={rec['workers']}:  {rec['wall_seconds']:8.1f} s  "
+            f"speedup {rec['speedup']:.2f}x  "
+            f"(comm {rec['comm_seconds']:.2f} s, "
+            f"|dE| {rec['deviation_ha_per_atom']:.1e} Ha/atom)")
+    lines.append(
+        f"criterion: >= {SPEEDUP_MIN_4W}x at 4 workers "
+        + ("(SKIPPED: cpu_limited)" if cpu_limited
+           else f"-> {'ok' if speedup_4w >= SPEEDUP_MIN_4W else 'FAIL'}"))
+    lines.append(f"[json written to {RESULT_JSON}]")
+    write_report("spmd_scaling", "\n".join(lines))
+
+    for p, de in deviations.items():
+        assert de <= ENERGY_AGREEMENT_MAX, (
+            f"spmd {p}-worker energy drifted {de:.3e} Ha/atom from serial")
+    for rec in points:
+        assert rec["converged_matches_serial"], (
+            f"spmd {rec['workers']}-worker per-point convergence flags "
+            f"diverged from the serial driver's")
+    if not cpu_limited:
+        assert speedup_4w >= SPEEDUP_MIN_4W, (
+            f"spmd 4-worker speedup {speedup_4w:.2f}x below the "
+            f"{SPEEDUP_MIN_4W}x criterion ({n_cores} cores)")

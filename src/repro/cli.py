@@ -132,6 +132,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the artifact-format .out log here (stdout otherwise)")
     parser.add_argument("--ranks", type=int, default=1,
                         help="simulated MPI ranks (1 = serial driver)")
+    parser.add_argument("--backend",
+                        choices=("serial", "simulated", "process", "spmd"),
+                        default=None,
+                        help="execution backend: 'serial' (in-process driver), "
+                             "'simulated' (virtual-clock MPI over --ranks), "
+                             "'process' (orbital fan-out over a worker pool), "
+                             "'spmd' (real column-distributed workers on "
+                             "shared memory). Default: 'simulated' when "
+                             "--ranks > 1, else 'serial'")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker-process count for --backend process/spmd "
+                             "(spmd workers are the MPI ranks; defaults "
+                             "to --ranks)")
     parser.add_argument("--n-eig", type=int, default=None,
                         help="override the number of nu chi0 eigenpairs")
     parser.add_argument("--seed", type=int, default=1)
@@ -312,14 +325,26 @@ def _run(args, tracer, recorder) -> int:
           file=sys.stderr)
 
     coulomb = CoulombOperator(grid, radius=dft.hamiltonian.radius)
-    if args.ranks > 1:
+    backend = args.backend or ("simulated" if args.ranks > 1 else "serial")
+    if args.workers is not None and backend not in ("process", "spmd"):
+        print("error: --workers requires --backend process or spmd",
+              file=sys.stderr)
+        return 2
+    if backend != "serial":
         from repro.parallel import compute_rpa_energy_parallel
 
         par = compute_rpa_energy_parallel(dft, config, n_ranks=args.ranks,
-                                          coulomb=coulomb)
-        print(f"simulated walltime on {args.ranks} ranks: "
-              f"{par.simulated_walltime:.2f} s "
-              f"(comm {par.comm_seconds * 1e3:.1f} ms)", file=sys.stderr)
+                                          coulomb=coulomb, backend=backend,
+                                          n_workers=args.workers)
+        if backend == "simulated":
+            print(f"simulated walltime on {args.ranks} ranks: "
+                  f"{par.simulated_walltime:.2f} s "
+                  f"(comm {par.comm_seconds * 1e3:.1f} ms)", file=sys.stderr)
+        else:
+            n_proc = args.workers if args.workers is not None else args.ranks
+            print(f"{backend} backend on {n_proc} worker process(es): "
+                  f"wall {par.wall_seconds:.2f} s "
+                  f"(comm {par.comm_seconds * 1e3:.1f} ms)", file=sys.stderr)
         print(f"Total RPA correlation energy: {par.energy:.5E} (Ha), "
               f"{par.energy_per_atom:.5E} (Ha/atom)")
         _print_resilience_summary(par.stats)

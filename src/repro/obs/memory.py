@@ -11,6 +11,7 @@ relative to the sampled window, never under-report the process peak).
 from __future__ import annotations
 
 import os
+import sys
 import threading
 from pathlib import Path
 
@@ -32,13 +33,36 @@ def current_rss_bytes() -> int | None:
         return None
 
 
-def peak_rss_bytes() -> int | None:
-    """Kernel high-water-mark RSS for the whole process lifetime."""
+def _ru_maxrss_bytes(raw: int) -> int:
+    """Normalize a raw ``ru_maxrss`` reading to bytes, in one place.
+
+    Linux reports kibibytes, macOS reports bytes (both are documented
+    behavior, not guesswork). The old magnitude heuristic (``> 2**32``
+    means bytes) silently under-reported Linux runs whose peak exceeded
+    4 GiB by a factor of 1024 and over-reported small macOS runs by the
+    same factor.
+    """
+    return int(raw) if sys.platform == "darwin" else int(raw) * 1024
+
+
+def peak_rss_bytes(include_children: bool = True) -> int | None:
+    """Kernel high-water-mark RSS for the process lifetime, in bytes.
+
+    With ``include_children`` (the default) the reading also covers
+    reaped child processes via ``RUSAGE_CHILDREN`` — in the process-pool
+    and SPMD backends the workers, not the parent, do the bulk of the
+    allocation, and reporting only ``RUSAGE_SELF`` under-reported those
+    runs. ``ru_maxrss`` is a per-process high-water mark, so the combined
+    figure is the max over parent and largest child (summing would
+    over-report shared copy-on-write pages).
+    """
     if resource is None:
         return None
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # Linux reports kilobytes; macOS reports bytes.
-    return int(peak) * (1 if peak > 1 << 32 else 1024)
+    peak = _ru_maxrss_bytes(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if include_children:
+        child = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+        peak = max(peak, _ru_maxrss_bytes(child))
+    return peak
 
 
 class MemorySampler:

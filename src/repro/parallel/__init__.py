@@ -20,7 +20,14 @@ from repro.parallel.distribution import (
     BlockColumnDistribution,
     block_cyclic_redistribution_bytes,
 )
-from repro.parallel.executor import ThreadedChi0Operator
+from repro.parallel.executor import (
+    ProcessPoolScheduler,
+    Scheduler,
+    SerialScheduler,
+    SimulatedScheduler,
+    ThreadedChi0Operator,
+    make_scheduler,
+)
 from repro.parallel.process_executor import ProcessChi0Operator, WorkerRecoveryError
 from repro.parallel.manager_worker import (
     Chi0WorkloadProfiler,
@@ -34,6 +41,7 @@ from repro.parallel.manager_worker import (
     static_block_column_makespan,
 )
 from repro.parallel.rpa_parallel import (
+    PARALLEL_BACKENDS,
     ParallelPointRecord,
     ParallelRPAResult,
     compute_rpa_energy_parallel,
@@ -53,6 +61,12 @@ __all__ = [
     "BlockColumnDistribution",
     "block_cyclic_redistribution_bytes",
     "ThreadedChi0Operator",
+    "Scheduler",
+    "SerialScheduler",
+    "SimulatedScheduler",
+    "ProcessPoolScheduler",
+    "make_scheduler",
+    "PARALLEL_BACKENDS",
     "ProcessChi0Operator",
     "WorkerRecoveryError",
     "WorkItem",

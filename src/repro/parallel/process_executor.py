@@ -5,8 +5,10 @@ releasing the GIL; for the many small single-column solves the paper's
 loose tolerances produce, Python-level overhead keeps threads partially
 serialized. This backend fans the ``n_s`` independent orbital solves out
 over *processes* instead (fork start method: the operator state is
-inherited copy-on-write, only per-orbital solutions cross process
-boundaries).
+inherited copy-on-write, the per-apply operands — the V block and the
+warm-start guesses — travel through ``multiprocessing.shared_memory``
+segments, and only per-orbital solutions cross process boundaries; task
+arguments are O(metadata), never O(grid)).
 
 Results are bit-identical to the serial operator: each orbital's solve is
 the same deterministic computation, merely executed elsewhere.
@@ -27,6 +29,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import wait as futures_wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import ExitStack
+from multiprocessing import shared_memory
 from typing import Callable
 
 import numpy as np
@@ -43,6 +46,9 @@ class WorkerRecoveryError(RuntimeError):
 # Worker-side state, installed once per worker via the initializer.
 _WORKER_OP: Chi0Operator | None = None
 _WORKER_FAULT: Callable[[int], None] | None = None
+# name -> (SharedMemory, ndarray view): per-worker cache of attached
+# operand segments (pruned when an apply ships fresh segment names).
+_WORKER_SHM: dict[str, tuple] = {}
 
 
 def _init_worker(op: Chi0Operator, fault_hook: Callable[[int], None] | None = None) -> None:
@@ -51,8 +57,111 @@ def _init_worker(op: Chi0Operator, fault_hook: Callable[[int], None] | None = No
     _WORKER_FAULT = fault_hook
 
 
-def _solve_orbital_task(args: tuple[int, np.ndarray, float, np.ndarray | None]):
-    j, V, omega, x0 = args
+class _ShmShipment:
+    """Per-apply shared-memory operands: the V block plus warm-start guesses.
+
+    Task arguments used to pickle the full right-hand-side block and every
+    orbital's guess into each task — O(grid) serialization per task, per
+    quadrature point. This ships them once through shared memory instead:
+    the task arguments carry only ``(segment name, shape, dtype)`` triples
+    and an orbital -> guess-row index, so per-task IPC is O(metadata).
+
+    The parent owns the segments and unlinks them when the apply finishes
+    (workers keep their mappings until they prune, which is safe on POSIX:
+    unlink removes the name, not live mappings).
+    """
+
+    def __init__(self, V: np.ndarray,
+                 guesses: dict[int, np.ndarray | None]) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        self.meta: dict = {"v": self._ship(V)}
+        present = [j for j in sorted(guesses) if guesses[j] is not None]
+        if present:
+            stacked = np.stack(
+                [np.ascontiguousarray(guesses[j]) for j in present]
+            ).astype(np.complex128, copy=False)
+            self.meta["guesses"] = self._ship(stacked)
+            self.meta["guess_rows"] = {int(j): i for i, j in enumerate(present)}
+        else:
+            self.meta["guesses"] = None
+            self.meta["guess_rows"] = {}
+
+    def _ship(self, arr: np.ndarray) -> tuple[str, tuple, str, str]:
+        # Memory order is preserved (pickle used to preserve it too): the
+        # BLAS kernel dispatched for a column solve depends on operand
+        # strides, and bit-stability vs the serial operator requires the
+        # worker to see the same layout the parent computes with.
+        a = np.asarray(arr)
+        order = "F" if (a.flags.f_contiguous and not a.flags.c_contiguous) \
+            else "C"
+        a = np.asarray(a, order=order)
+        seg = shared_memory.SharedMemory(create=True, size=max(a.nbytes, 1))
+        view = np.ndarray(a.shape, a.dtype, buffer=seg.buf, order=order)
+        view[...] = a
+        self._segments.append(seg)
+        return (seg.name, tuple(a.shape), a.dtype.str, order)
+
+    def unlink(self) -> None:
+        for seg in self._segments:
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - lingering view
+                pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments = []
+
+
+def _shm_attach(ref: tuple[str, tuple, str, str]) -> np.ndarray:
+    """Attach (or reuse) a read-only worker view of a shipped segment."""
+    name, shape, dtype, order = ref
+    cached = _WORKER_SHM.get(name)
+    if cached is None:
+        seg = shared_memory.SharedMemory(name=name)
+        # On 3.11 the attach re-registers the name with the resource
+        # tracker, but forked pool workers share the parent's tracker
+        # process and its set-valued cache dedups the entry — so the
+        # parent's unlink() retires it cleanly. Unregistering here would
+        # remove the parent's sole entry and make that unlink() print a
+        # tracker KeyError instead.
+        view = np.ndarray(shape, np.dtype(dtype), buffer=seg.buf, order=order)
+        view.setflags(write=False)
+        cached = _WORKER_SHM[name] = (seg, view)
+    return cached[1]
+
+
+def _shm_prune(live: set[str]) -> None:
+    """Drop worker attachments whose segments this apply no longer ships."""
+    for name in [n for n in _WORKER_SHM if n not in live]:
+        seg, _view = _WORKER_SHM.pop(name)
+        try:
+            seg.close()
+        except BufferError:  # pragma: no cover - view still referenced
+            pass
+
+
+def _unpack_operands(meta: dict) -> np.ndarray:
+    live = {meta["v"][0]}
+    if meta["guesses"] is not None:
+        live.add(meta["guesses"][0])
+    _shm_prune(live)
+    return _shm_attach(meta["v"])
+
+
+def _guess_for(meta: dict, j: int) -> np.ndarray | None:
+    row = meta["guess_rows"].get(j)
+    if row is None:
+        return None
+    # Fresh copy: solvers may use the starting iterate as scratch.
+    return np.array(_shm_attach(meta["guesses"])[row], copy=True)
+
+
+def _solve_orbital_task(args: tuple[int, float, dict]):
+    j, omega, meta = args
+    V = _unpack_operands(meta)
+    x0 = _guess_for(meta, j)
     assert _WORKER_OP is not None, "worker not initialized"
     if _WORKER_FAULT is not None:
         _WORKER_FAULT(j)
@@ -88,10 +197,12 @@ def _solve_orbital_task(args: tuple[int, np.ndarray, float, np.ndarray | None]):
 
 
 def _solve_orbital_group_task(
-    args: tuple[tuple[int, ...], np.ndarray, float, dict[int, np.ndarray | None]],
+    args: tuple[tuple[int, ...], float, dict],
 ):
     """Batched variant: one fused solve over a contiguous orbital group."""
-    group, V, omega, guesses = args
+    group, omega, meta = args
+    V = _unpack_operands(meta)
+    guesses = {j: _guess_for(meta, j) for j in group}
     assert _WORKER_OP is not None, "worker not initialized"
     if _WORKER_FAULT is not None:
         for j in group:
@@ -178,6 +289,15 @@ class ProcessChi0Operator(Chi0Operator):
             self._pool.shutdown()
             self._pool = None
 
+    def _submit(self, pool: ProcessPoolExecutor, fn, args):
+        """Submission seam: every task enters the pool through here.
+
+        Tests wrap this to assert the pickled task payload stays
+        O(metadata) — the grid-sized operands travel via shared memory,
+        never through the task arguments.
+        """
+        return pool.submit(fn, args)
+
     def __enter__(self) -> "ProcessChi0Operator":
         return self
 
@@ -255,46 +375,55 @@ class ProcessChi0Operator(Chi0Operator):
             for j in sorted(pending)
         }
         restarts_this_apply = 0
-        while pending:
-            pool = self._ensure_pool()
-            futures = {pool.submit(_solve_orbital_task,
-                                   (j, V, omega, guesses[j])): j
-                       for j in sorted(pending)}
-            broken = False
-            futures_wait(futures)
-            for fut, j in futures.items():
-                try:
-                    exc = fut.exception()
-                except BaseException:  # cancelled by a dying pool
-                    broken = True
-                    continue
-                if exc is None:
-                    jj, y, stats, obs = fut.result()
-                    results[jj] = (y, stats, obs)
-                    pending.discard(jj)
-                elif isinstance(exc, BrokenProcessPool):
-                    broken = True
-                else:
-                    raise exc
-            if not pending:
-                break
-            if not broken:  # pragma: no cover - defensive
-                raise WorkerRecoveryError(
-                    f"orbitals {sorted(pending)} returned no result without a "
-                    f"pool failure"
-                )
-            if restarts_this_apply >= self.max_pool_restarts:
-                raise WorkerRecoveryError(
-                    f"pool died {restarts_this_apply + 1} times; giving up on "
-                    f"orbitals {sorted(pending)}"
-                )
-            restarts_this_apply += 1
-            self.n_pool_restarts += 1
-            if tracer.enabled:
-                tracer.incr("worker_pool_restarts")
-                tracer.event("worker_pool_restart", lost=len(pending),
-                             restart=restarts_this_apply)
-            self.close()  # discard the broken pool; _ensure_pool rebuilds
+        shipment = _ShmShipment(V, guesses)
+        try:
+            while pending:
+                pool = self._ensure_pool()
+                futures = {self._submit(pool, _solve_orbital_task,
+                                        (j, float(omega), shipment.meta)): j
+                           for j in sorted(pending)}
+                broken = False
+                futures_wait(futures)
+                for fut, j in futures.items():
+                    try:
+                        exc = fut.exception()
+                    except BaseException:  # cancelled by a dying pool
+                        broken = True
+                        continue
+                    if exc is None:
+                        jj, y, stats, obs = fut.result()
+                        results[jj] = (y, stats, obs)
+                        pending.discard(jj)
+                    elif isinstance(exc, BrokenProcessPool):
+                        broken = True
+                    else:
+                        raise exc
+                if not pending:
+                    break
+                if not broken:  # pragma: no cover - defensive
+                    raise WorkerRecoveryError(
+                        f"orbitals {sorted(pending)} returned no result "
+                        f"without a pool failure"
+                    )
+                if restarts_this_apply >= self.max_pool_restarts:
+                    raise WorkerRecoveryError(
+                        f"pool died {restarts_this_apply + 1} times; giving "
+                        f"up on orbitals {sorted(pending)}"
+                    )
+                restarts_this_apply += 1
+                self.n_pool_restarts += 1
+                if tracer.enabled:
+                    tracer.incr("worker_pool_restarts")
+                    tracer.event("worker_pool_restart", lost=len(pending),
+                                 restart=restarts_this_apply)
+                self.close()  # discard the broken pool; _ensure_pool rebuilds
+        except BaseException:
+            # A failed apply must not leak a live worker pool: recovery
+            # exhaustion and worker-task exceptions land here too.
+            self.close()
+            raise
+        finally:
+            shipment.unlink()
         return results
 
     def _solve_all_orbitals_batched(
@@ -323,50 +452,55 @@ class ProcessChi0Operator(Chi0Operator):
         }
         results: dict[int, tuple[np.ndarray, bool]] = {}
         restarts_this_apply = 0
-        while pending:
-            pool = self._ensure_pool()
-            futures = {
-                pool.submit(
-                    _solve_orbital_group_task,
-                    (g, V, omega, {j: guesses[j] for j in g}),
-                ): g
-                for g in sorted(pending)
-            }
-            broken = False
-            futures_wait(futures)
-            for fut, g in futures.items():
-                try:
-                    exc = fut.exception()
-                except BaseException:  # cancelled by a dying pool
-                    broken = True
-                    continue
-                if exc is None:
-                    group, solved, stats, obs = fut.result()
-                    results.update(solved)
-                    self.stats.merge(stats)
-                    self._merge_child_obs(obs)
-                    pending.discard(tuple(group))
-                elif isinstance(exc, BrokenProcessPool):
-                    broken = True
-                else:
-                    raise exc
-            if not pending:
-                break
-            if not broken:  # pragma: no cover - defensive
-                raise WorkerRecoveryError(
-                    f"orbital groups {sorted(pending)} returned no result "
-                    f"without a pool failure"
-                )
-            if restarts_this_apply >= self.max_pool_restarts:
-                raise WorkerRecoveryError(
-                    f"pool died {restarts_this_apply + 1} times; giving up on "
-                    f"orbital groups {sorted(pending)}"
-                )
-            restarts_this_apply += 1
-            self.n_pool_restarts += 1
-            if tracer.enabled:
-                tracer.incr("worker_pool_restarts")
-                tracer.event("worker_pool_restart", lost=len(pending),
-                             restart=restarts_this_apply)
-            self.close()
+        shipment = _ShmShipment(V, guesses)
+        try:
+            while pending:
+                pool = self._ensure_pool()
+                futures = {
+                    self._submit(pool, _solve_orbital_group_task,
+                                 (g, float(omega), shipment.meta)): g
+                    for g in sorted(pending)
+                }
+                broken = False
+                futures_wait(futures)
+                for fut, g in futures.items():
+                    try:
+                        exc = fut.exception()
+                    except BaseException:  # cancelled by a dying pool
+                        broken = True
+                        continue
+                    if exc is None:
+                        group, solved, stats, obs = fut.result()
+                        results.update(solved)
+                        self.stats.merge(stats)
+                        self._merge_child_obs(obs)
+                        pending.discard(tuple(group))
+                    elif isinstance(exc, BrokenProcessPool):
+                        broken = True
+                    else:
+                        raise exc
+                if not pending:
+                    break
+                if not broken:  # pragma: no cover - defensive
+                    raise WorkerRecoveryError(
+                        f"orbital groups {sorted(pending)} returned no result "
+                        f"without a pool failure"
+                    )
+                if restarts_this_apply >= self.max_pool_restarts:
+                    raise WorkerRecoveryError(
+                        f"pool died {restarts_this_apply + 1} times; giving "
+                        f"up on orbital groups {sorted(pending)}"
+                    )
+                restarts_this_apply += 1
+                self.n_pool_restarts += 1
+                if tracer.enabled:
+                    tracer.incr("worker_pool_restarts")
+                    tracer.event("worker_pool_restart", lost=len(pending),
+                                 restart=restarts_this_apply)
+                self.close()
+        except BaseException:
+            self.close()  # no orphaned pool on failure paths
+            raise
+        finally:
+            shipment.unlink()
         return results

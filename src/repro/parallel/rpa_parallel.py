@@ -1,32 +1,35 @@
-"""Simulated-MPI distributed RPA driver (Sections III-D / IV-C).
+"""Distributed RPA driver over the ``Scheduler`` backend seam.
 
-Executes the paper's parallelization structure on simulated ranks:
+Runs Algorithm 6's parallel structure — block-column distribution of the
+subspace operand, distributed ``nu^{1/2} chi0 nu^{1/2}`` applications,
+Rayleigh-Ritz with distributed Gram products, the Eq. 7 convergence check
+and the SSA frozen-basis policy — against any execution backend exposing
+the :class:`repro.parallel.executor.Scheduler` interface:
 
-* ``V`` is distributed by block columns over ``p <= n_eig`` ranks; every
-  ``nu^{1/2} chi0 nu^{1/2}`` application is embarrassingly parallel — each
-  rank's share is *actually executed* and its wall time charged to that
-  rank's virtual clock, so load imbalance from (j, k)-dependent Sternheimer
-  difficulty emerges from real measurements, not a model.
-* Algorithm 4's block-size cap becomes ``n_eig / p`` (Section III-D).
-* The ScaLAPACK phases (subspace matmults, generalized eigensolve) are
-  executed once serially, and their simulated parallel time is charged
-  from measured serial time through the Fig. 5-calibrated efficiency
-  models, plus block-cyclic redistribution and allreduce communication
-  from the Hockney model.
-* The Eq. 7 convergence check is charged as the paper describes (one more
-  operator application plus an allreduce) using the per-rank durations
-  measured for the identical multiplication in the same iteration.
+* ``simulated`` (default) — the paper's simulated-MPI layer: every rank's
+  column slice is *actually executed* sequentially and its measured wall
+  time charged to that rank's virtual clock; ScaLAPACK phases and
+  collectives are charged through the Fig. 5-calibrated cost models.
+  Figures 4, 5 and 6 are regenerated from these simulated walltimes.
+* ``serial`` — single-rank reference execution in the driver process.
+* ``process`` — orbital fan-out over a persistent process pool
+  (:class:`repro.parallel.process_executor.ProcessChi0Operator`).
+* ``spmd`` — real shared-memory SPMD workers operating on
+  ``multiprocessing.shared_memory`` views of the operands
+  (:class:`repro.parallel.spmd.SpmdScheduler`), producing measured —
+  not modeled — strong-scaling wall clock.
 
-The returned energies are *identical* to the serial driver (the math is
-the same); only the time accounting differs. Figures 4, 5 and 6 are
-regenerated from these simulated walltimes.
+The math is identical across backends (the scheduler owns only *where*
+the two distributed kernels execute and how time is accounted); energies
+agree with the serial driver to solver tolerance, bitwise between the
+simulated and single-worker SPMD backends.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import ExitStack, nullcontext
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 import scipy.linalg
@@ -38,28 +41,21 @@ from repro.core.trace import trace_from_eigenvalues
 from repro.dft.eigensolvers import chebyshev_filter
 from repro.dft.scf import DFTResult
 from repro.grid.coulomb import CoulombOperator
-from repro.parallel.costmodel import (
-    PACE_PHOENIX,
-    MachineProfile,
-    allreduce_time,
-    eigensolve_parallel_time,
-    matmult_parallel_time,
-    redistribution_time,
-)
-from repro.parallel.distribution import (
-    BlockColumnDistribution,
-    block_cyclic_redistribution_bytes,
-)
+from repro.parallel.costmodel import PACE_PHOENIX, MachineProfile
+from repro.parallel.distribution import BlockColumnDistribution
+from repro.parallel.executor import Scheduler, make_scheduler
 from repro.obs.telemetry import get_recorder, recorder_for_level, use_recorder
 from repro.obs.tracer import get_tracer
-from repro.parallel.virtual_clock import VirtualClocks
 from repro.utils.rng import default_rng
 from repro.verify.invariants import get_verifier, use_verifier, verifier_for_level
+
+#: Backends accepted by :func:`compute_rpa_energy_parallel`.
+PARALLEL_BACKENDS = ("serial", "simulated", "process", "spmd")
 
 
 @dataclass
 class ParallelPointRecord:
-    """Per-quadrature-point simulated timings."""
+    """Per-quadrature-point timings (virtual or measured, by backend)."""
 
     index: int
     omega: float
@@ -76,7 +72,7 @@ class ParallelPointRecord:
 
 @dataclass
 class ParallelRPAResult:
-    """Outcome of a simulated distributed RPA run."""
+    """Outcome of a distributed RPA run."""
 
     energy: float
     energy_per_atom: float
@@ -97,6 +93,7 @@ class ParallelRPAResult:
     recycle: object | None = None  # RecycleStats when config.use_recycling
     verify: dict | None = None  # Verifier.summary() (None = verification off)
     telemetry: dict | None = None  # ConvergenceRecorder.payload() (None = off)
+    backend: str = "simulated"
 
     @property
     def converged(self) -> bool:
@@ -108,32 +105,18 @@ class ParallelRPAResult:
         return self.stats.degraded_error_bound
 
 
-@dataclass
-class _Phases:
-    """Mutable simulated-time accumulators shared across one run."""
-
-    clocks: VirtualClocks
-    breakdown: dict[str, float] = field(
-        default_factory=lambda: {
-            "chi0_apply": 0.0,
-            "matmult": 0.0,
-            "eigensolve": 0.0,
-            "eval_error": 0.0,
-        }
-    )
-    last_apply_per_rank: np.ndarray | None = None
-    per_rank_chi0: np.ndarray | None = None
-
-
 def compute_rpa_energy_parallel(
     dft: DFTResult,
     config: RPAConfig,
-    n_ranks: int,
+    n_ranks: int = 1,
     machine: MachineProfile = PACE_PHOENIX,
     coulomb: CoulombOperator | None = None,
     rank_faults: dict[int, int] | None = None,
+    backend: str = "simulated",
+    n_workers: int | None = None,
+    fault_hook=None,
 ) -> ParallelRPAResult:
-    """Run Algorithm 6 on ``n_ranks`` simulated processors.
+    """Run Algorithm 6 on ``n_ranks`` processors of the chosen backend.
 
     Parameters
     ----------
@@ -145,22 +128,56 @@ def compute_rpa_energy_parallel(
         additionally routes every Sternheimer solve through the escalation
         chain, exactly as in the serial driver.
     n_ranks:
-        Simulated processor count; must satisfy ``n_ranks <= n_eig``.
+        Processor count; must satisfy ``n_ranks <= n_eig`` for the
+        column-distributing backends (``simulated``/``spmd``). ``serial``
+        requires 1; ``process`` runs the distribution on one rank and
+        fans out by orbital instead (see ``n_workers``).
     machine:
-        Interconnect/kernel-efficiency profile (default: the paper's
-        PACE-Phoenix).
+        Interconnect/kernel-efficiency profile for the simulated backend
+        (default: the paper's PACE-Phoenix). Ignored by the real backends.
     rank_faults:
-        Simulated worker deaths: maps rank -> 1-based quadrature-point
-        index at whose start the rank dies. Its column slice is reassigned
-        to the least-loaded surviving rank (manager-worker recovery); the
-        energies are *identical* to the fault-free run — all work is still
-        executed — only the simulated time accounting and the trace
-        (``rank_failure`` / ``task_reassigned`` events) change. At least
-        one rank must survive the whole run.
+        Worker deaths: maps rank -> 1-based quadrature-point index at
+        whose start the rank dies. Simulated backend: the death is
+        virtual (time accounting and trace only). SPMD backend: the
+        worker process really exits and recovery re-executes its work.
+        Either way its column slice is reassigned to the least-loaded
+        surviving rank (manager-worker recovery) and the energies are
+        *identical* to the fault-free run. At least one rank must survive.
+    backend:
+        One of ``serial`` / ``simulated`` / ``process`` / ``spmd``.
+    n_workers:
+        Worker-process count for ``process``/``spmd`` (defaults to
+        ``n_ranks``; for ``spmd`` the workers *are* the ranks).
+    fault_hook:
+        Test-only per-orbital callable run in ``process``/``spmd`` workers
+        before each solve (fault injection).
     """
+    if backend not in PARALLEL_BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r} (expected one of {PARALLEL_BACKENDS})"
+        )
     if n_ranks < 1:
         raise ValueError("n_ranks must be >= 1")
-    if n_ranks > config.n_eig:
+    if backend == "serial" and n_ranks != 1:
+        raise ValueError("backend='serial' runs on exactly one rank")
+    if rank_faults and backend not in ("simulated", "spmd"):
+        raise ValueError(
+            f"rank_faults require a column-distributing backend "
+            f"(simulated/spmd), not {backend!r}"
+        )
+    if fault_hook is not None and backend not in ("process", "spmd"):
+        raise ValueError("fault_hook requires the process or spmd backend")
+    if backend in ("process", "spmd"):
+        workers = int(n_workers) if n_workers is not None else int(n_ranks)
+        if workers < 1:
+            raise ValueError("n_workers must be >= 1")
+    else:
+        workers = None
+    if backend == "spmd":
+        n_ranks = workers  # SPMD workers are the ranks
+    elif backend == "process":
+        n_ranks = 1  # fan-out is by orbital; the column layout is trivial
+    if backend in ("simulated", "spmd") and n_ranks > config.n_eig:
         raise ValueError(
             f"the paper's distribution requires p <= n_eig (got p={n_ranks}, "
             f"n_eig={config.n_eig})"
@@ -186,11 +203,7 @@ def compute_rpa_energy_parallel(
     from repro.core.rpa_energy import _escalation_from
     from repro.solvers.recycle import SolveRecycler
 
-    chi0op = Chi0Operator(
-        dft.hamiltonian,
-        dft.occupied_orbitals,
-        dft.occupied_energies,
-        coulomb,
+    op_kwargs = dict(
         tol=config.tol_sternheimer,
         max_iterations=config.max_cocg_iterations,
         use_galerkin_guess=config.use_galerkin_guess,
@@ -206,66 +219,20 @@ def compute_rpa_energy_parallel(
         recycler=(SolveRecycler(width=config.n_eig)
                   if config.use_recycling else None),
     )
-    recycler = chi0op.recycler
+    if backend == "process":
+        from repro.parallel.process_executor import ProcessChi0Operator
+
+        chi0op = ProcessChi0Operator(
+            dft.hamiltonian, dft.occupied_orbitals, dft.occupied_energies,
+            coulomb, n_workers=workers, fault_hook=fault_hook, **op_kwargs,
+        )
+    else:
+        chi0op = Chi0Operator(
+            dft.hamiltonian, dft.occupied_orbitals, dft.occupied_energies,
+            coulomb, **op_kwargs,
+        )
 
     tracer = get_tracer()
-    phases = _Phases(clocks=VirtualClocks(n_ranks, tracer=tracer))
-    phases.per_rank_chi0 = np.zeros(n_ranks)
-    # Mutable work assignment: rank -> column slices it executes. Starts as
-    # the paper's static block-column layout; rank failures move slices to
-    # the least-loaded survivor (the manager-worker recovery policy).
-    assignment: dict[int, list[slice]] = {
-        r: [dist.owned_slice(r)] for r in range(n_ranks)
-    }
-    n_rank_failures = 0
-
-    def fail_rank(r: int, at_point: int) -> None:
-        """Kill simulated rank ``r``: reassign its slices, record the event."""
-        nonlocal n_rank_failures
-        slices = assignment.pop(r, [])
-        n_rank_failures += 1
-        if tracer.enabled:
-            tracer.event("rank_failure", rank=r, domain="virtual",
-                         quadrature_point=at_point)
-        for sl in slices:
-            survivor = min(assignment, key=lambda w: phases.per_rank_chi0[w])
-            assignment[survivor].append(sl)
-            if tracer.enabled:
-                tracer.event("task_reassigned", rank=survivor, domain="virtual",
-                             columns=(sl.start, sl.stop), from_rank=r)
-
-    def rankwise_apply(V: np.ndarray, omega: float) -> np.ndarray:
-        """One distributed symmetrized apply; charges per-rank clocks."""
-        W = np.empty_like(V)
-        durations = np.zeros(n_ranks)
-        recorder = get_recorder()
-        for r, slices in assignment.items():
-            t0 = time.perf_counter()
-            # Telemetry records from this rank's solves carry its rank tag,
-            # so per-rank convergence behaviour stays separable post-merge.
-            with recorder.rank_scope(r):
-                for sl in slices:
-                    # The assignment partitions the full block width; clamp
-                    # to the operand (the SSA guard probes single columns).
-                    sl = slice(sl.start, min(sl.stop, V.shape[1]))
-                    if sl.stop <= sl.start:
-                        continue
-                    if recycler is not None:
-                        # Each rank solves a disjoint column slice of the same
-                        # block; scope the cache to global column offsets so
-                        # full-width entries assemble coherently across ranks.
-                        with recycler.columns(sl.start, sl.stop):
-                            W[:, sl] = chi0op.apply_symmetrized(V[:, sl], omega)
-                    else:
-                        W[:, sl] = chi0op.apply_symmetrized(V[:, sl], omega)
-            durations[r] = time.perf_counter() - t0
-            phases.clocks.advance(r, durations[r], label="chi0_apply")
-        phases.last_apply_per_rank = durations
-        phases.per_rank_chi0 += durations
-        before = phases.breakdown["chi0_apply"]
-        phases.breakdown["chi0_apply"] = before + float(durations.max())
-        return W
-
     quad = transformed_gauss_legendre(config.n_quadrature)
     rng = default_rng(config.seed)
     V = rng.standard_normal((n_d, config.n_eig))
@@ -275,6 +242,18 @@ def compute_rpa_energy_parallel(
     prev_bounds: tuple[float, float, float] | None = None
     prev_converged = False
     with ExitStack() as stack:
+        # The scheduler owns backend resources (worker processes, shared
+        # memory); it is torn down on every exit path. The SPMD backend
+        # forks its workers lazily at first use, *after* the verifier and
+        # recorder below are installed, so workers inherit them.
+        sched = make_scheduler(
+            backend, chi0op, n_ranks=n_ranks, width=config.n_eig,
+            machine=machine, rank_faults=rank_faults, fault_hook=fault_hook,
+        )
+        stack.callback(sched.close)
+        # A scheduler may replace the operator's recycler with a
+        # backend-shared implementation; resolve it after construction.
+        recycler = chi0op.recycler
         # Invariant checking mirrors the serial driver: the config level
         # installs a scoped verifier unless one is already active (e.g. the
         # differential harness drives all backends under one verifier).
@@ -296,15 +275,13 @@ def compute_rpa_energy_parallel(
         stack.enter_context(
             tracer.span("rpa_energy_parallel", system=dft.crystal.label,
                         n_ranks=n_ranks, n_eig=config.n_eig,
-                        block_size_cap=block_cap)
+                        block_size_cap=block_cap, backend=backend)
         )
         for k in range(1, len(quad) + 1):
-            for r in sorted(r for r, kf in rank_faults.items()
-                            if kf == k and r in assignment):
-                fail_rank(r, k)
+            sched.start_point(k)
             omega = float(quad.points[k - 1])
             weight = float(quad.weights[k - 1])
-            t_point0 = phases.clocks.elapsed
+            t_point0 = sched.elapsed
             t_wall0 = time.perf_counter()
             if recorder.enabled:
                 recorder.point_started(k, omega)
@@ -315,15 +292,12 @@ def compute_rpa_energy_parallel(
                 (vals, V, converged, iters, err_history, mode,
                  bounds, ssa_bound, guard_triggered,
                  guard_vector) = _parallel_frozen_point(
-                    rankwise_apply,
+                    sched,
                     V,
                     omega,
                     refresh_tol=config.ssa_refresh_tol_for(k),
                     degree=config.filter_degree,
                     max_refresh_passes=config.ssa_refresh_passes,
-                    phases=phases,
-                    machine=machine,
-                    p=n_ranks,
                     on_rotation=(recycler.rotate_frozen
                                  if recycler is not None else None),
                     bounds_seed=prev_bounds,
@@ -345,15 +319,12 @@ def compute_rpa_energy_parallel(
                             recycler.clear()
                     (vals, V, converged, iters, err_history, mode,
                      bounds) = _parallel_subspace(
-                        rankwise_apply,
+                        sched,
                         V,
                         omega,
                         tol=config.tol_subspace_for(k),
                         degree=config.filter_degree,
                         max_iterations=config.max_filter_iterations,
-                        phases=phases,
-                        machine=machine,
-                        p=n_ranks,
                         on_rotation=(recycler.rotate
                                      if recycler is not None else None),
                         bounds_seed=prev_bounds,
@@ -362,15 +333,12 @@ def compute_rpa_energy_parallel(
             else:
                 (vals, V, converged, iters, err_history, mode,
                  bounds) = _parallel_subspace(
-                    rankwise_apply,
+                    sched,
                     V,
                     omega,
                     tol=config.tol_subspace_for(k),
                     degree=config.filter_degree,
                     max_iterations=config.max_filter_iterations,
-                    phases=phases,
-                    machine=machine,
-                    p=n_ranks,
                     on_rotation=recycler.rotate if recycler is not None else None,
                     bounds_seed=prev_bounds if config.use_ssa else None,
                 )
@@ -382,7 +350,7 @@ def compute_rpa_energy_parallel(
             if verifier.enabled:
                 verifier.check_trace_identity(vals, e_k, index=k, omega=omega)
             energy += weight * e_k / (2.0 * np.pi)
-            simulated = phases.clocks.elapsed - t_point0
+            simulated = sched.elapsed - t_point0
             if recorder.enabled:
                 recorder.point_finished(
                     k, omega=omega, seconds=time.perf_counter() - t_wall0,
@@ -393,10 +361,10 @@ def compute_rpa_energy_parallel(
                     subspace_mode=mode,
                 )
             if tracer.enabled:
-                # One top-row span per quadrature point on the virtual
-                # timeline, spanning all ranks (rank=None).
-                tracer.record("omega_point", t_point0, end=phases.clocks.elapsed,
-                              domain="virtual", index=k, omega=omega,
+                # One top-row span per quadrature point on the backend's
+                # timeline (virtual or measured busy time), all ranks.
+                tracer.record("omega_point", t_point0, end=sched.elapsed,
+                              domain=sched.time_domain, index=k, omega=omega,
                               filter_iterations=iters, converged=converged,
                               subspace_mode=mode)
                 if mode in ("frozen", "refreshed"):
@@ -414,27 +382,29 @@ def compute_rpa_energy_parallel(
                     ssa_error_bound=ssa_bound,
                 )
             )
+        accounting = sched.report()
 
     return ParallelRPAResult(
         energy=energy,
         energy_per_atom=energy / dft.crystal.n_atoms,
         points=points,
         quadrature=quad,
-        n_ranks=n_ranks,
+        n_ranks=sched.n_ranks,
         machine=machine,
-        simulated_walltime=phases.clocks.elapsed,
-        breakdown=dict(phases.breakdown),
-        comm_seconds=phases.clocks.comm_seconds,
-        imbalance_seconds=phases.clocks.imbalance_seconds,
-        per_rank_chi0_seconds=phases.per_rank_chi0.copy(),
+        simulated_walltime=accounting["simulated_walltime"],
+        breakdown=accounting["breakdown"],
+        comm_seconds=accounting["comm_seconds"],
+        imbalance_seconds=accounting["imbalance_seconds"],
+        per_rank_chi0_seconds=accounting["per_rank_chi0_seconds"],
         stats=chi0op.stats,
         config=config,
         wall_seconds=time.perf_counter() - start_wall,
         block_size_cap=block_cap,
-        n_rank_failures=n_rank_failures,
+        n_rank_failures=accounting["n_rank_failures"],
         recycle=recycler.stats if recycler is not None else None,
         verify=verifier.summary() if verifier.enabled else None,
         telemetry=recorder.payload() if recorder.enabled else None,
+        backend=backend,
     )
 
 
@@ -442,24 +412,20 @@ def compute_rpa_energy_parallel(
 
 
 def _parallel_subspace(
-    rankwise_apply,
+    sched: Scheduler,
     V: np.ndarray,
     omega: float,
     tol: float,
     degree: int,
     max_iterations: int,
-    phases: _Phases,
-    machine: MachineProfile,
-    p: int,
     on_rotation=None,
     bounds_seed=None,
 ):
     verifier = get_verifier()
     errors: list[float] = []
-    W = rankwise_apply(V, omega)
-    vals, V, W = _parallel_rayleigh_ritz(V, W, phases, machine, p,
-                                         on_rotation=on_rotation)
-    err = _parallel_eq7(V, W, vals, phases, machine, p)
+    W = sched.apply(V, omega)
+    vals, V, W = _parallel_rayleigh_ritz(sched, V, W, on_rotation=on_rotation)
+    err = _parallel_eq7(sched, V, W, vals)
     errors.append(err)
     if verifier.enabled:
         verifier.check_ritz_values(vals, err, driver="parallel", iteration=0)
@@ -473,11 +439,10 @@ def _parallel_subspace(
         used_bounds = (low, cut, high)
         if bounds_seed is not None:
             last_bounds = used_bounds
-        V = chebyshev_filter(lambda B: rankwise_apply(B, omega), V, degree, low, cut, high)
-        W = rankwise_apply(V, omega)
-        vals, V, W = _parallel_rayleigh_ritz(V, W, phases, machine, p,
-                                             on_rotation=on_rotation)
-        err = _parallel_eq7(V, W, vals, phases, machine, p)
+        V = chebyshev_filter(lambda B: sched.apply(B, omega), V, degree, low, cut, high)
+        W = sched.apply(V, omega)
+        vals, V, W = _parallel_rayleigh_ritz(sched, V, W, on_rotation=on_rotation)
+        err = _parallel_eq7(sched, V, W, vals)
         errors.append(err)
         if verifier.enabled:
             verifier.check_ritz_values(vals, err, driver="parallel", iteration=it)
@@ -487,26 +452,22 @@ def _parallel_subspace(
 
 
 def _parallel_frozen_point(
-    rankwise_apply,
+    sched: Scheduler,
     V: np.ndarray,
     omega: float,
     refresh_tol: float,
     degree: int,
     max_refresh_passes: int,
-    phases: _Phases,
-    machine: MachineProfile,
-    p: int,
     on_rotation=None,
     bounds_seed=None,
     recycler=None,
 ):
-    """One SSA point on the simulated ranks (repro.core.ssa policy).
+    """One SSA point on the distributed backend (repro.core.ssa policy).
 
     Rayleigh-Ritz in the frozen basis — one distributed apply for the
     projected Grams — with the same cheap-refresh trigger and
     exterior-eigenvalue guard as the serial ``frozen_subspace_point``; the
-    energies match the serial SSA path, only the simulated time accounting
-    differs.
+    energies match the serial SSA path, only the time accounting differs.
     """
     from repro.core.ssa import (
         GUARD_REL_MARGIN,
@@ -525,7 +486,7 @@ def _parallel_frozen_point(
         pause = recycler.paused() if recycler is not None else nullcontext()
         with pause:
             probe = exterior_eigenvalue_estimate(
-                lambda B: rankwise_apply(B, omega), V_now
+                lambda B: sched.apply(B, omega), V_now
             )
         if probe is None:
             return False
@@ -544,11 +505,10 @@ def _parallel_frozen_point(
     guard_triggered = False
     guard_vector = None
     while True:
-        W = rankwise_apply(V, omega)
+        W = sched.apply(V, omega)
         V_raw, W_raw = V, W  # pre-rotation operands for the independent check
-        vals, V, W = _parallel_rayleigh_ritz(V, W, phases, machine, p,
-                                             on_rotation=on_rotation)
-        err = _parallel_eq7(V, W, vals, phases, machine, p)
+        vals, V, W = _parallel_rayleigh_ritz(sched, V, W, on_rotation=on_rotation)
+        err = _parallel_eq7(sched, V, W, vals)
         errors.append(err)
         if verifier.enabled:
             verifier.check_ritz_values(vals, err, driver="parallel",
@@ -567,7 +527,7 @@ def _parallel_frozen_point(
         low, cut, high = _filter_bounds(vals, seed=last_bounds)
         used_bounds = (low, cut, high)
         last_bounds = used_bounds
-        V = chebyshev_filter(lambda B: rankwise_apply(B, omega), V, degree,
+        V = chebyshev_filter(lambda B: sched.apply(B, omega), V, degree,
                              low, cut, high)
     residual_norms = np.linalg.norm(W - V * vals, axis=0)
     bound = ssa_error_gauge(vals, residual_norms)
@@ -581,17 +541,14 @@ def _filter_bounds(vals: np.ndarray, seed=None) -> tuple[float, float, float]:
     return bounds(vals, seed=seed)
 
 
-def _parallel_rayleigh_ritz(V, W, phases: _Phases, machine: MachineProfile, p: int,
-                            on_rotation=None):
-    """ScaLAPACK phase: redistribution + pdgemm + pdsyevd + rotation."""
+def _parallel_rayleigh_ritz(sched: Scheduler, V, W, on_rotation=None):
+    """Rayleigh-Ritz phase: distributed Grams + eigensolve + rotation."""
     n_d, m = V.shape
     t0 = time.perf_counter()
     # Sesquilinear Grams (V^H W / V^H V), matching the serial _rayleigh_ritz:
     # conjugation is a no-op for the real blocks this driver produces, but
     # keeps the two implementations from diverging if complex blocks appear.
-    vh = V.conj().T
-    hs = vh @ W
-    ms = vh @ V
+    hs, ms = sched.grams(V, W)
     hs = 0.5 * (hs + hs.conj().T)
     ms = 0.5 * (ms + ms.conj().T)
     t_mm = time.perf_counter() - t0
@@ -618,37 +575,19 @@ def _parallel_rayleigh_ritz(V, W, phases: _Phases, machine: MachineProfile, p: i
         if verifier.full:
             verifier.check_basis_orthonormal(V, driver="parallel")
 
-    # Simulated charges: redistribute V and W to block-cyclic, run the
-    # parallel matmults and eigensolve, redistribute back.
-    redist = 2.0 * redistribution_time(
-        machine, block_cyclic_redistribution_bytes(n_d, 2 * m), p
-    )
-    mm = matmult_parallel_time(machine, t_mm + t_rot, p)
-    eig = eigensolve_parallel_time(machine, t_eig, p)
-    phases.breakdown["matmult"] += mm + redist
-    phases.breakdown["eigensolve"] += eig
-    phases.clocks.synchronize(redist, label="redistribute")
-    phases.clocks.advance_all(mm, label="matmult")
-    phases.clocks.advance_all(eig, label="eigensolve")
+    sched.charge_rayleigh_ritz(n_d, m, t_mm + t_rot, t_eig)
     return vals, V, W
 
 
-def _parallel_eq7(V, W, vals, phases: _Phases, machine: MachineProfile, p: int) -> float:
-    """Eq. 7 check: one more distributed apply plus a scalar allreduce.
+def _parallel_eq7(sched: Scheduler, V, W, vals) -> float:
+    """Eq. 7 check: reuses the post-rotation ``W`` (no extra apply).
 
-    The multiplication's cost is charged from the per-rank durations just
-    measured for the identical product (``W`` post-rotation *is* that
-    product), so no redundant execution is needed.
+    The scheduler charges whatever its execution domain pays for this
+    phase (the simulated backend re-charges the measured per-rank apply
+    durations plus an allreduce; real backends reuse ``W`` for free).
     """
-    durations = phases.last_apply_per_rank
-    if durations is not None:
-        for r in range(p):
-            phases.clocks.advance(r, float(durations[r]), label="eval_error")
-        phases.breakdown["eval_error"] += float(durations.max())
-    comm = allreduce_time(machine, 8.0, p)  # one scalar per rank
-    phases.clocks.synchronize(comm, label="allreduce")
-    R = W - V * vals
-    num = np.linalg.norm(R, axis=0).sum()
+    sched.charge_error_eval()
+    num = sched.error_norm(V, W, vals)
     den = len(vals) * np.sqrt(np.sum(vals**2))
     if den == 0.0:
         return float(np.inf) if num > 0 else 0.0

@@ -1,0 +1,846 @@
+"""Real shared-memory SPMD backend for the distributed RPA driver.
+
+Persistent worker processes (``fork`` start method) execute the paper's
+block-column work decomposition on ``multiprocessing.shared_memory`` views
+of the big operands — the occupied orbitals ``Psi``, the Hamiltonian's
+local potential, the subspace block ``V`` / its image ``W``, the Gram
+reduction slots, and the solve-recycle cache. Task descriptors carry only
+metadata — ``(kind, task id, generation, column/row slice, omega, shm
+names)`` — never ndarrays, so per-task IPC is O(1) in the grid size.
+
+Determinism contract (what makes the verify matrix and the fault tests
+meaningful):
+
+* Column slices come from the same :class:`BlockColumnDistribution` the
+  simulated-MPI backend uses, and each slice's Sternheimer solves are the
+  identical computation regardless of *which* worker executes them — so a
+  run with planted worker deaths is bit-identical to an undisturbed run,
+  and ``n_workers=1`` is bit-identical to the simulated driver at ``p=1``
+  (which matches the serial driver to ~1e-12).
+* The trace/Gram contractions tree-reduce over ``p0`` *fixed* per-slice
+  slots (``p0`` = worker count at construction) in a fixed pairwise
+  order. Each rank scatters its column block's contribution —
+  ``V^H W[:, lo:hi]`` for the Rayleigh-Ritz Gram, per-column residual
+  norms for the Eq. 7 trace — into a zeroed full-width slot, so every
+  tree addition combines disjoint supports (``x + 0.0``, exact in IEEE
+  arithmetic) and the reduced result is bitwise equal to the serial
+  driver's single-gemm assembly. The overlap ``V^H V`` is computed
+  unsplit by one rank: for real blocks ``V.conj()`` *is* ``V``, BLAS
+  takes a syrk-style aliased path whose bits a column-block gemm cannot
+  reproduce. Rank death changes which worker computes a slot, never the
+  slot geometry or summation order. (Caveat: a width-1 column slice
+  routes through gemv rather than gemm and may differ from the serial
+  bits in the last ulp — the block-column layout only produces width-1
+  slices when ``n_workers`` approaches ``n_eig``.)
+* Recycle-cache stores are task-transactional: a worker stages its stores
+  and commits them to shared memory only when the task completes, so a
+  mid-task death leaves no partial cache state and the re-executed task
+  produces identical counters (the exactly-once telemetry contract).
+
+Worker recovery mirrors the simulated manager-worker policy: a dead
+rank's column slices move permanently to the least-loaded survivor
+(``rank_failure`` / ``task_reassigned`` trace events, ``domain="real"``),
+in-flight tasks are resubmitted, and results are folded exactly once via
+a parent-side pending set keyed by globally unique task ids.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_mod
+import time
+import traceback
+from contextlib import ExitStack
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.core.sternheimer import Chi0Operator, SternheimerStats
+from repro.obs.telemetry import ConvergenceRecorder, get_recorder, use_recorder
+from repro.obs.tracer import Tracer, get_tracer, use_tracer
+from repro.parallel.distribution import BlockColumnDistribution
+from repro.parallel.executor import Scheduler, _SliceAssignment
+from repro.parallel.process_executor import WorkerRecoveryError
+from repro.solvers.recycle import RecycleStats, SolveRecycler
+from repro.verify.invariants import (
+    Verifier,
+    VerifyFailure,
+    get_verifier,
+    use_verifier,
+)
+
+#: Poll interval for result collection (also the death-detection latency).
+_POLL_SECONDS = 0.05
+
+
+class SpmdTaskError(RuntimeError):
+    """A worker task raised; carries the worker-side traceback."""
+
+
+class SharedSolveRecycler(SolveRecycler):
+    """A :class:`SolveRecycler` whose cache lives in shared memory.
+
+    Storage is four preallocated arrays (solutions, omega tags, validity
+    flags per column, all indexed by orbital) viewing parent-created shm
+    segments; the parent and every forked worker hold views of the same
+    pages, so stores made by one rank's solves serve guesses — and survive
+    parent-side rotations — coherently across the whole SPMD step. The
+    arrays are fixed-capacity (``width`` columns per orbital): an entry
+    "exists" exactly when any of its validity flags is set, and is
+    complete (rotatable/servable at full width) when all are.
+
+    Disjointness makes it race-free without locks: within one distributed
+    apply each rank stores only its own global column slice (the
+    ``columns()`` scope), and rotations/clears happen parent-side between
+    synchronous rounds.
+
+    ``begin_task()`` / ``commit_task()`` bracket one worker task: stores
+    are staged locally and written to shared memory only at task
+    completion, so a worker death mid-task cannot publish partial state.
+    """
+
+    def __init__(self, width: int, sol: np.ndarray, omegas: np.ndarray,
+                 valid: np.ndarray, max_orbitals: int | None = None) -> None:
+        super().__init__(width=width, max_orbitals=max_orbitals)
+        if sol.shape != (omegas.shape[0], sol.shape[1], width):
+            raise ValueError("solution block shape mismatch")
+        self._sol = sol  # (n_s, n_d, width) complex128
+        self._omegas = omegas  # (n_s, width) float64, NaN = untagged
+        self._valid = valid  # (n_s, width) bool
+        self._staged: list | None = None
+
+    # -- task transaction ------------------------------------------------------
+
+    def begin_task(self) -> None:
+        self._staged = []
+
+    def commit_task(self) -> None:
+        staged, self._staged = self._staged, None
+        for j, lo, hi, omega, sol in staged or []:
+            self._write(j, lo, hi, omega, sol)
+
+    def _write(self, j: int, lo: int, hi: int, omega: float,
+               solution: np.ndarray) -> None:
+        self._sol[j, :, lo:hi] = solution
+        self._omegas[j, lo:hi] = omega
+        self._valid[j, lo:hi] = True
+
+    # -- cache protocol (mirrors SolveRecycler semantics on shm storage) -------
+
+    def guess(self, j: int, omega: float, n_cols: int) -> np.ndarray | None:
+        self.last_guess_kind = None
+        self.last_guess_slice = None
+        if not self.enabled:
+            return None
+        lo, hi = self._col0, self._col0 + n_cols
+        tracer = get_tracer()
+        if hi > self.width or not self._valid[j, lo:hi].all():
+            self.stats.misses += 1
+            if tracer.enabled:
+                tracer.incr("recycle_misses")
+            return None
+        tags = self._omegas[j, lo:hi]
+        if np.all(tags == omega):
+            self.stats.hits += 1
+            self.last_guess_kind = "hit"
+            if tracer.enabled:
+                tracer.incr("recycle_hits")
+        else:
+            self.stats.omega_seeds += 1
+            self.last_guess_kind = "seed"
+            if tracer.enabled:
+                tracer.incr("recycle_omega_seeds")
+        self.last_guess_slice = (lo, hi)
+        return np.ascontiguousarray(self._sol[j, :, lo:hi])
+
+    def store(self, j: int, omega: float, solution: np.ndarray,
+              converged: bool = True) -> bool:
+        solution = np.asarray(solution)
+        if solution.ndim == 1:
+            solution = solution[:, None]
+        n_cols = solution.shape[1]
+        lo, hi = self._col0, self._col0 + n_cols
+        self.last_store_slice = None
+        if (not self.enabled or not converged or hi > self.width
+                or solution.shape[0] != self._sol.shape[1]):
+            self.stats.skipped_stores += 1
+            return False
+        if (self.max_orbitals is not None and not self._valid[j].any()
+                and int(self._valid.any(axis=1).sum()) >= self.max_orbitals):
+            self.stats.skipped_stores += 1
+            return False
+        if self._staged is not None:
+            self._staged.append((int(j), lo, hi, float(omega),
+                                 np.array(solution, dtype=complex, copy=True)))
+        else:
+            self._write(int(j), lo, hi, float(omega), solution)
+        self.last_store_slice = (lo, hi)
+        self.stats.stores += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.incr("recycle_stores")
+        return True
+
+    def rotate(self, q: np.ndarray) -> None:
+        q = np.asarray(q)
+        if q.ndim != 2 or q.shape[0] != self.width:
+            return
+        tracer = get_tracer()
+        started = self._valid.any(axis=1)
+        if q.shape[1] != self.width:
+            # Fixed-capacity shared storage cannot change width; drop all
+            # (the RPA drivers only ever rotate by square Q, so this is a
+            # defensive path for diagnostic callers sharing the hook).
+            self.stats.dropped += int(started.sum())
+            self._valid[:] = False
+            self._omegas[:] = np.nan
+        else:
+            complete = self._valid.all(axis=1)
+            for j in np.flatnonzero(started & ~complete):
+                # Incomplete entries (a rank's slice missing) cannot be
+                # rotated coherently; drop them, as the base class does.
+                self._valid[j] = False
+                self._omegas[j] = np.nan
+                self.stats.dropped += 1
+            for j in np.flatnonzero(complete):
+                self._sol[j] = self._sol[j] @ q
+                tags = self._omegas[j]
+                if not np.all(tags == tags[0]):
+                    # Mixed-frequency columns blend under rotation: tag as
+                    # seeds (served, never an exact omega hit).
+                    self._omegas[j] = np.nan
+        self.stats.rotations += 1
+        if tracer.enabled:
+            tracer.incr("recycle_rotations")
+
+    def clear(self) -> None:
+        self._valid[:] = False
+        self._omegas[:] = np.nan
+
+    @property
+    def n_cached_orbitals(self) -> int:
+        return int(self._valid.any(axis=1).sum())
+
+    def memory_bytes(self) -> int:
+        return int(self._sol.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SharedSolveRecycler(width={self.width}, "
+                f"orbitals={self.n_cached_orbitals}, "
+                f"stats={self.stats.as_dict()})")
+
+
+def _install_fault_hook(op: Chi0Operator, hook) -> None:
+    """Route every orbital solve through ``hook(j)`` (worker-side).
+
+    Mirrors the process-pool backend's per-orbital fault hook so the same
+    ``DieOnceFile`` injectors drive real SPMD worker deaths — including
+    mid-task, after earlier orbitals in the slice already solved.
+    """
+    orig_solve = Chi0Operator._solve_orbital
+    orig_batched = Chi0Operator._solve_orbitals_batched
+
+    def hooked_solve(self, j, V, omega, x0=None):
+        hook(j)
+        return orig_solve(self, j, V, omega, x0=x0)
+
+    def hooked_batched(self, orbitals, V, omega, guesses=None):
+        orbitals = [int(j) for j in orbitals]
+        for j in orbitals:
+            hook(j)
+        return orig_batched(self, orbitals, V, omega, guesses=guesses)
+
+    op._solve_orbital = hooked_solve.__get__(op, type(op))
+    op._solve_orbitals_batched = hooked_batched.__get__(op, type(op))
+
+
+def _spmd_worker_main(sched: "SpmdScheduler", rank: int) -> None:
+    """Worker loop: inherited (forked) scheduler state, metadata tasks."""
+    if sched._fault_hook is not None:
+        _install_fault_hook(sched.op, sched._fault_hook)
+    task_q = sched._task_qs[rank]
+    result_q = sched._result_q
+    while True:
+        msg = task_q.get()
+        kind = msg[0]
+        if kind == "stop":
+            return
+        if kind == "die":
+            os._exit(17)
+        tid, gen = msg[1], msg[2]
+        try:
+            t0 = time.perf_counter()
+            if kind == "apply":
+                payload = sched._worker_apply(msg)
+            elif kind == "gram":
+                payload = sched._worker_gram(msg)
+            elif kind == "gramvv":
+                payload = sched._worker_gramvv(msg)
+            elif kind == "enorm":
+                payload = sched._worker_enorm(msg)
+            elif kind == "reduce":
+                payload = sched._worker_reduce(msg)
+            elif kind == "nreduce":
+                payload = sched._worker_nreduce(msg)
+            else:
+                raise ValueError(f"unknown spmd task kind {kind!r}")
+            payload["busy"] = time.perf_counter() - t0
+            result_q.put((tid, gen, rank, "ok", payload))
+        except BaseException:
+            result_q.put((tid, gen, rank, "error", traceback.format_exc()))
+
+
+class SpmdScheduler(Scheduler, _SliceAssignment):
+    """Shared-memory SPMD execution of the distributed RPA kernels.
+
+    Parameters
+    ----------
+    chi0op:
+        The (plain, serial) operator; its ``psi`` block and the
+        Hamiltonian's local potential are moved into shared memory, and
+        its recycler — if any — is replaced by a
+        :class:`SharedSolveRecycler` over shm-backed storage, *before*
+        workers fork so every process views the same pages.
+    n_ranks:
+        Persistent worker count; also the (fixed) Gram reduction slot
+        count ``p0``.
+    width:
+        Distributed column count (the driver's ``n_eig``).
+    rank_faults:
+        rank -> 1-based quadrature point at whose start the rank is sent a
+        real ``die`` control message (``os._exit`` in the worker).
+    fault_hook:
+        Test-only per-orbital callable run in workers before each solve
+        (e.g. :class:`repro.resilience.faults.DieOnceFile`).
+    """
+
+    backend = "spmd"
+
+    def __init__(self, chi0op: Chi0Operator, n_ranks: int, width: int,
+                 rank_faults: dict[int, int] | None = None,
+                 fault_hook=None) -> None:
+        super().__init__(chi0op, n_ranks)
+        import multiprocessing
+
+        self.width = int(width)
+        self.rank_faults = dict(rank_faults or {})
+        self._fault_hook = fault_hook
+        self.init_assignment(BlockColumnDistribution(self.width, n_ranks))
+        n_d = chi0op.n_points
+        n_s = chi0op.n_occupied
+
+        # Fixed reduction geometry: one slot per construction-time column
+        # slice, combined in a fixed pairwise tree order. Immutable after
+        # construction so the slot layout and floating-point summation
+        # order never depend on which workers are still alive.
+        self.p0 = int(n_ranks)
+        dist = BlockColumnDistribution(self.width, n_ranks)
+        self._slices0 = [dist.owned_slice(r) for r in range(n_ranks)]
+
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._names: dict[str, str] = {}
+        self._closed = False
+        self._v = self._alloc("V", (n_d, self.width), np.float64)
+        self._w = self._alloc("W", (n_d, self.width), np.float64)
+        self._gram = self._alloc("gram", (self.p0, self.width, self.width),
+                                 np.float64)
+        self._ms = self._alloc("ms", (self.width, self.width), np.float64)
+        self._nrm = self._alloc("nrm", (self.p0, self.width), np.float64)
+        # Zero-copy statics: rebind the operator's big read-only arrays onto
+        # shm views so forked workers share one physical copy (no
+        # copy-on-write duplication from refcount traffic). Psi keeps its
+        # source memory order — BLAS picks (bitwise-)different kernels for
+        # transposed vs straight operands, and the Galerkin-guess Grams
+        # must match the serial driver's arithmetic exactly.
+        psi_order = "F" if (chi0op.psi.flags.f_contiguous
+                            and not chi0op.psi.flags.c_contiguous) else "C"
+        psi = self._alloc("psi", chi0op.psi.shape, np.float64, order=psi_order)
+        psi[...] = chi0op.psi
+        chi0op.psi = psi
+        vloc = self._alloc("vloc", chi0op.h.v_local.shape, np.float64)
+        vloc[...] = chi0op.h.v_local
+        chi0op.h.v_local = vloc
+
+        self.recycler = None
+        if chi0op.recycler is not None:
+            sol = self._alloc("rec_sol", (n_s, n_d, self.width), np.complex128)
+            omegas = self._alloc("rec_omega", (n_s, self.width), np.float64)
+            valid = self._alloc("rec_valid", (n_s, self.width), np.bool_)
+            omegas[:] = np.nan
+            self.recycler = SharedSolveRecycler(
+                self.width, sol, omegas, valid,
+                max_orbitals=chi0op.recycler.max_orbitals,
+            )
+            chi0op.recycler = self.recycler
+
+        self._gen = 0
+        self._next_tid = 0
+        self._point = 0
+        self._imbalance = 0.0
+        self._comm = 0.0
+        self._ctx = multiprocessing.get_context("fork")
+        self._result_q = self._ctx.Queue()
+        self._task_qs = {r: self._ctx.SimpleQueue() for r in range(n_ranks)}
+        self._procs: dict[int, object] = {}
+        self._live: set[int] = set()
+        self._started = False
+
+    # -- shared-memory plumbing -------------------------------------------------
+
+    def _alloc(self, tag: str, shape: tuple, dtype,
+               order: str = "C") -> np.ndarray:
+        nbytes = max(int(np.prod(shape)) * np.dtype(dtype).itemsize, 1)
+        seg = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._segments.append(seg)
+        self._names[tag] = seg.name
+        view = np.ndarray(shape, dtype=dtype, buffer=seg.buf, order=order)
+        view.fill(0)
+        return view
+
+    @property
+    def _shm_signature(self) -> tuple[str, ...]:
+        return tuple(sorted(self._names.values()))
+
+    # -- worker lifecycle -------------------------------------------------------
+
+    def _ensure_workers(self) -> None:
+        """Fork the persistent workers (lazily, at first use).
+
+        Deferred so workers snapshot the recorder/verifier the driver
+        installs *after* building the scheduler.
+        """
+        if self._started:
+            return
+        self._started = True
+        for r in range(self.n_ranks):
+            proc = self._ctx.Process(target=_spmd_worker_main, args=(self, r),
+                                     daemon=True)
+            proc.start()
+            self._procs[r] = proc
+            self._live.add(r)
+
+    def start_point(self, k: int) -> None:
+        self._point = k
+        faulted = sorted(r for r, kf in self.rank_faults.items() if kf == k)
+        if faulted:
+            self._ensure_workers()
+            for r in faulted:
+                if r in self._live:
+                    self._task_qs[r].put(("die",))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for r, proc in self._procs.items():
+            if proc.is_alive():
+                try:
+                    self._task_qs[r].put(("stop",))
+                except (OSError, ValueError):  # pragma: no cover - defensive
+                    pass
+        for proc in self._procs.values():
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._result_q.close()
+        # Detach the operator from the shm views before releasing them (the
+        # views dangle once the segments unmap).
+        self.op.psi = np.array(self.op.psi)
+        self.op.h.v_local = np.array(self.op.h.v_local)
+        if self.recycler is not None:
+            # Keep the stats object (results reference it); drop storage.
+            self.recycler._sol = np.array(self.recycler._sol)
+            self.recycler._omegas = np.array(self.recycler._omegas)
+            self.recycler._valid = np.array(self.recycler._valid)
+        self._v = self._w = self._gram = self._ms = self._nrm = None
+        for seg in self._segments:
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - lingering external view
+                pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments = []
+
+    # -- task rounds ------------------------------------------------------------
+
+    def _tid(self) -> int:
+        self._next_tid += 1
+        return self._next_tid
+
+    def _least_loaded_live(self) -> int:
+        return min(sorted(self._live), key=lambda r: self.per_rank_chi0[r])
+
+    def _retarget(self, msg: tuple) -> tuple[int, tuple]:
+        """Pick the new executor for an in-flight task of a dead rank."""
+        if msg[0] == "apply":
+            start = msg[4]
+            for r, slices in self.assignment.items():
+                if any(sl.start == start for sl in slices) and r in self._live:
+                    return r, msg[:3] + (r,) + msg[4:]
+            r = self._least_loaded_live()
+            return r, msg[:3] + (r,) + msg[4:]
+        return self._least_loaded_live(), msg
+
+    def _check_liveness(self, tasks: dict, pending: dict) -> None:
+        dead = [r for r in sorted(self._live) if not self._procs[r].is_alive()]
+        if not dead:
+            return
+        for r in dead:
+            self._live.discard(r)
+            self._procs[r].join(timeout=1.0)
+            if r in self.assignment:
+                # Permanent slice reassignment for all future rounds.
+                self.fail_rank(r, self._point, domain="real")
+        if not self._live:
+            raise WorkerRecoveryError(
+                "all spmd workers died; cannot recover"
+            )
+        for tid in sorted(pending):
+            if pending[tid] in self._live:
+                continue
+            new_rank, new_msg = self._retarget(tasks[tid][1])
+            tasks[tid] = (new_rank, new_msg)
+            pending[tid] = new_rank
+            self._task_qs[new_rank].put(new_msg)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event("task_resubmitted", rank=new_rank, domain="real",
+                             task_id=tid, kind=new_msg[0])
+
+    def _run_round(self, tasks: dict[int, tuple[int, tuple]]) -> dict:
+        """Dispatch one synchronous round; return ``{tid: (rank, payload)}``.
+
+        Exactly-once: results are folded only while their task id is still
+        pending — a duplicate (the original worker finished *and* died
+        before the parent noticed, so the task was also re-executed) is
+        dropped, and stale generations are rejected.
+        """
+        self._ensure_workers()
+        for tid in sorted(tasks):
+            rank, msg = tasks[tid]
+            if rank not in self._live:
+                tasks[tid] = self._retarget(msg)
+            self._task_qs[tasks[tid][0]].put(tasks[tid][1])
+        pending = {tid: rank for tid, (rank, msg) in tasks.items()}
+        results: dict[int, tuple[int, dict]] = {}
+        while pending:
+            try:
+                tid, gen, rank, status, payload = self._result_q.get(
+                    timeout=_POLL_SECONDS
+                )
+            except queue_mod.Empty:
+                self._check_liveness(tasks, pending)
+                continue
+            if tid not in pending or gen != self._gen:
+                continue
+            if status == "error":
+                raise SpmdTaskError(
+                    f"spmd worker rank {rank} failed task {tid}:\n{payload}"
+                )
+            del pending[tid]
+            results[tid] = (rank, payload)
+        return results
+
+    # -- the two distributed kernels -------------------------------------------
+
+    def apply(self, V: np.ndarray, omega: float) -> np.ndarray:
+        w = V.shape[1]
+        if w > self.width:
+            raise ValueError(f"operand width {w} exceeds capacity {self.width}")
+        self._gen += 1
+        t_round = time.perf_counter()
+        self._v[:, :w] = V
+        recycle_on = self.recycler is not None and self.recycler.enabled
+        sig = self._shm_signature
+        tasks: dict[int, tuple[int, tuple]] = {}
+        for r in sorted(self.assignment):
+            for sl in self.assignment[r]:
+                start, stop = sl.start, min(sl.stop, w)
+                if stop <= start:
+                    continue
+                tid = self._tid()
+                tasks[tid] = (r, ("apply", tid, self._gen, r, start, stop,
+                                  float(omega), w, recycle_on, sig))
+        results = self._run_round(tasks)
+        durations = np.zeros(self.n_ranks)
+        for tid, (rank, payload) in sorted(results.items()):
+            durations[rank] += payload["busy"]
+            self._fold_payload(payload)
+        round_wall = time.perf_counter() - t_round
+        self.per_rank_chi0 += durations
+        dmax = float(durations.max())
+        live = max(len(self._live), 1)
+        self._imbalance += (dmax * live - float(durations.sum())) / live
+        self._comm += max(round_wall - dmax, 0.0)
+        self.breakdown["chi0_apply"] += dmax
+        self._elapsed += dmax
+        return self._w[:, :w].copy()
+
+    def _slot_owner(self, slot: int) -> int:
+        """Current owner of slot ``slot``'s construction-time column slice."""
+        start = self._slices0[slot].start
+        for r in sorted(self.assignment):
+            if r in self._live or not self._started:
+                if any(sl.start == start for sl in self.assignment[r]):
+                    return r
+        return self._least_loaded_live() if self._started else 0
+
+    def _reduce_rounds(self, kind: str, w: int, sig) -> float:
+        """Fixed pairwise tree-reduce over the ``p0`` slots of one array.
+
+        Each round folds slot ``i + offset`` into slot ``i``; rounds are
+        synchronous barriers, so the summation order is identical no
+        matter which worker runs which fold — and identical to the clean
+        run after rank deaths. Because every column's contribution lives
+        in exactly one slot (the rest hold exact zeros), each fold adds
+        ``x + 0.0`` and the reduced slot 0 is bitwise the serial value.
+        """
+        busy = 0.0
+        offset = 1
+        while offset < self.p0:
+            self._gen += 1
+            live = sorted(self._live)
+            tasks: dict[int, tuple[int, tuple]] = {}
+            for i in range(0, self.p0, 2 * offset):
+                src = i + offset
+                if src >= self.p0:
+                    continue
+                tid = self._tid()
+                tasks[tid] = (live[(i // (2 * offset)) % len(live)],
+                              (kind, tid, self._gen, i, src, w, sig))
+            busy += self._round_busy(self._run_round(tasks))
+            offset *= 2
+        return busy
+
+    def grams(self, V: np.ndarray, W: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        w = V.shape[1]
+        self._gen += 1
+        t_round = time.perf_counter()
+        self._v[:, :w] = V
+        self._w[:, :w] = W
+        self._gram[:, :w, :w] = 0.0
+        self._ms[:w, :w] = 0.0
+        sig = self._shm_signature
+        tasks: dict[int, tuple[int, tuple]] = {}
+        for slot, sl in enumerate(self._slices0):
+            lo, hi = sl.start, min(sl.stop, w)
+            if hi <= lo:
+                continue
+            tid = self._tid()
+            tasks[tid] = (self._slot_owner(slot),
+                          ("gram", tid, self._gen, slot, lo, hi, w, sig))
+        # The overlap V^H V rides along unsplit (see module docstring: the
+        # serial bits come from BLAS's aliased syrk path, which column
+        # blocks cannot reproduce); any rank may compute it.
+        tid = self._tid()
+        tasks[tid] = (self._slot_owner(self.p0 - 1),
+                      ("gramvv", tid, self._gen, w, sig))
+        busy = self._round_busy(self._run_round(tasks))
+        busy += self._reduce_rounds("reduce", w, sig)
+        round_wall = time.perf_counter() - t_round
+        self._comm += max(round_wall - busy, 0.0)
+        hs = self._gram[0, :w, :w].copy()
+        ms = self._ms[:w, :w].copy()
+        return hs, ms
+
+    def error_norm(self, V: np.ndarray, W: np.ndarray,
+                   vals: np.ndarray) -> float:
+        """Eq. 7 trace numerator, column-distributed and tree-reduced.
+
+        Each rank writes its columns' residual norms into a zeroed
+        full-width slot vector; the fixed pairwise tree-reduce assembles
+        the per-column norms (bitwise: disjoint supports), and the final
+        sum over columns happens parent-side with the serial driver's
+        exact reduction.
+        """
+        w = V.shape[1]
+        self._gen += 1
+        t_round = time.perf_counter()
+        self._v[:, :w] = V
+        self._w[:, :w] = W
+        self._nrm[:, :w] = 0.0
+        sig = self._shm_signature
+        vals_t = tuple(float(x) for x in np.asarray(vals))
+        tasks: dict[int, tuple[int, tuple]] = {}
+        for slot, sl in enumerate(self._slices0):
+            lo, hi = sl.start, min(sl.stop, w)
+            if hi <= lo:
+                continue
+            tid = self._tid()
+            tasks[tid] = (self._slot_owner(slot),
+                          ("enorm", tid, self._gen, slot, lo, hi, w,
+                           vals_t, sig))
+        busy = self._round_busy(self._run_round(tasks))
+        busy += self._reduce_rounds("nreduce", w, sig)
+        round_wall = time.perf_counter() - t_round
+        self.breakdown["eval_error"] += busy
+        self._elapsed += busy
+        self._comm += max(round_wall - busy, 0.0)
+        return float(self._nrm[0, :w].sum())
+
+    @staticmethod
+    def _round_busy(results: dict) -> float:
+        return max((p["busy"] for _r, p in results.values()), default=0.0)
+
+    # -- worker-side task bodies (run in the forked children) --------------------
+
+    def _check_signature(self, sig: tuple) -> None:
+        if tuple(sig) != self._shm_signature:
+            raise SpmdTaskError(
+                "task descriptor names foreign shared-memory segments "
+                f"(got {sig}, have {self._shm_signature})"
+            )
+
+    def _worker_apply(self, msg: tuple) -> dict:
+        (_kind, _tid, _gen, rank, start, stop, omega, w, recycle_on,
+         sig) = msg
+        self._check_signature(sig)
+        op = self.op
+        # Contiguous local copy: the strided shm column view must enter the
+        # solvers with the same memory layout as the serial driver's
+        # operand, so the BLAS-level arithmetic is bitwise identical.
+        V = np.ascontiguousarray(self._v[:, start:stop])
+        op.stats = SternheimerStats()
+        rec = op.recycler
+        parent_recorder = get_recorder()
+        parent_tracer = get_tracer()
+        parent_verifier = get_verifier()
+        payload: dict = {}
+        with ExitStack() as stack:
+            recorder = tracer = verifier = None
+            if parent_recorder.enabled:
+                recorder = stack.enter_context(
+                    use_recorder(ConvergenceRecorder(level=parent_recorder.level))
+                )
+                stack.enter_context(recorder.rank_scope(rank))
+            if parent_tracer.enabled:
+                tracer = stack.enter_context(use_tracer(Tracer()))
+            if parent_verifier.enabled:
+                # Fresh per task (deterministic under re-execution, so a
+                # recovered run's verify/tracer counters equal a clean
+                # run's); its failure list ships home with the result.
+                verifier = stack.enter_context(use_verifier(Verifier(
+                    level=parent_verifier.level,
+                    strict=parent_verifier.strict,
+                    slack=parent_verifier.slack,
+                )))
+            if rec is not None:
+                rec.stats = RecycleStats()
+                rec.begin_task()
+                saved = rec.enabled
+                rec.enabled = bool(recycle_on)
+                try:
+                    with rec.columns(start, stop):
+                        W = op.apply_symmetrized(V, omega)
+                finally:
+                    rec.enabled = saved
+                self._w[:, start:stop] = W
+                rec.commit_task()
+                payload["recycle"] = rec.stats.as_dict()
+            else:
+                W = op.apply_symmetrized(V, omega)
+                self._w[:, start:stop] = W
+            payload["stats"] = op.stats
+            if recorder is not None:
+                payload["telemetry"] = recorder.payload()
+            if tracer is not None:
+                payload["trace"] = tracer.export_state()
+            if verifier is not None:
+                payload["verify"] = {
+                    "checks_run": verifier.checks_run,
+                    "failures": [
+                        {"check": f.check, "message": f.message,
+                         "context": f.context}
+                        for f in verifier.failures
+                    ],
+                }
+        return payload
+
+    def _worker_gram(self, msg: tuple) -> dict:
+        _kind, _tid, _gen, slot, lo, hi, w, sig = msg
+        self._check_signature(sig)
+        # Contiguous full-height V, like the serial driver's operand; the
+        # column block of V^H W is then bitwise the corresponding columns
+        # of the serial single gemm.
+        vh = np.ascontiguousarray(self._v[:, :w]).conj().T
+        self._gram[slot, :w, lo:hi] = vh @ np.ascontiguousarray(
+            self._w[:, lo:hi])
+        return {}
+
+    def _worker_gramvv(self, msg: tuple) -> dict:
+        _kind, _tid, _gen, w, sig = msg
+        self._check_signature(sig)
+        # Aliased on purpose: for real blocks V.conj() is V itself, and
+        # the serial driver's V^H V bits come from the resulting
+        # syrk-style BLAS path. Keep the identical aliasing here.
+        Vc = np.ascontiguousarray(self._v[:, :w])
+        self._ms[:w, :w] = Vc.conj().T @ Vc
+        return {}
+
+    def _worker_enorm(self, msg: tuple) -> dict:
+        _kind, _tid, _gen, slot, lo, hi, w, vals, sig = msg
+        self._check_signature(sig)
+        vals_b = np.asarray(vals)[lo:hi]
+        Rb = self._w[:, lo:hi] - self._v[:, lo:hi] * vals_b
+        self._nrm[slot, lo:hi] = np.linalg.norm(Rb, axis=0)
+        return {}
+
+    def _worker_reduce(self, msg: tuple) -> dict:
+        _kind, _tid, _gen, dst, src, w, sig = msg
+        self._check_signature(sig)
+        self._gram[dst, :w, :w] += self._gram[src, :w, :w]
+        return {}
+
+    def _worker_nreduce(self, msg: tuple) -> dict:
+        _kind, _tid, _gen, dst, src, w, sig = msg
+        self._check_signature(sig)
+        self._nrm[dst, :w] += self._nrm[src, :w]
+        return {}
+
+    # -- parent-side result folding ---------------------------------------------
+
+    def _fold_payload(self, payload: dict) -> None:
+        """Fold one accepted apply result into parent-side observability.
+
+        Called exactly once per task id (``_run_round`` guards the pending
+        set), so stats, telemetry, trace and recycle counters are never
+        double-counted across resubmissions.
+        """
+        stats = payload.get("stats")
+        if stats is not None:
+            self.op.stats.merge(stats)
+        recorder = get_recorder()
+        if recorder.enabled and payload.get("telemetry"):
+            recorder.merge(payload["telemetry"])
+        tracer = get_tracer()
+        if tracer.enabled and payload.get("trace"):
+            tracer.absorb(payload["trace"])
+        if self.recycler is not None and payload.get("recycle"):
+            st = self.recycler.stats
+            for key, delta in payload["recycle"].items():
+                setattr(st, key, getattr(st, key) + int(delta))
+        verifier = get_verifier()
+        if verifier.enabled and payload.get("verify"):
+            dv = payload["verify"]
+            # Direct fold: the worker's tracer already counted these
+            # checks, so going through _passed/_failed here would double
+            # the verify_* counters.
+            verifier.checks_run += int(dv["checks_run"])
+            for f in dv["failures"]:
+                verifier.failures.append(
+                    VerifyFailure(f["check"], f["message"], dict(f["context"]))
+                )
+
+    def report(self) -> dict:
+        return {
+            "simulated_walltime": 0.0,
+            "breakdown": dict(self.breakdown),
+            "comm_seconds": self._comm,
+            "imbalance_seconds": self._imbalance,
+            "per_rank_chi0_seconds": self.per_rank_chi0.copy(),
+            "n_rank_failures": self.n_rank_failures,
+        }

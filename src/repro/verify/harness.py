@@ -2,7 +2,8 @@
 
 Runs the full Krylov RPA pipeline on a tiny dense-verifiable system across
 the configuration matrix — every backend (serial, simulated-MPI,
-process-pool) crossed with recycling, preconditioning and resilience — and
+process-pool, shared-memory SPMD) crossed with recycling, preconditioning
+and resilience — and
 cross-checks each configuration's energy against the dense Adler-Wiser
 oracle (``compute_rpa_energy_direct`` truncated to the same ``n_eig``) to
 a pinned tolerance. Every run executes under an installed
@@ -67,7 +68,7 @@ HARNESS_SEED = 7
 #: run with the fused multi-orbital kernel at float64 and float32+IR) and
 #: the SSA axis (each backend with the frequency-shared eigenbasis on).
 #: ``--quick`` keeps one covering subset per backend.
-BACKENDS = ("serial", "mpi", "process")
+BACKENDS = ("serial", "mpi", "process", "spmd")
 SOLVE_DTYPES = ("float64", "float32_ir")
 
 
@@ -130,6 +131,9 @@ def configuration_matrix(quick: bool = False):
             ("process", False, False, False, False, "float64", False),
             ("process", True, True, False, False, "float64", False),
             ("process", True, False, False, True, "float32_ir", True),
+            ("spmd", False, False, False, False, "float64", False),
+            ("spmd", True, False, True, False, "float64", False),
+            ("spmd", True, False, False, True, "float64", True),
         ]
     matrix = [
         (backend, recycling, precond, resilience, False, "float64", False)
@@ -180,6 +184,16 @@ def run_one(dft, coulomb, backend: str, recycling: bool, preconditioner: bool,
 
             par = compute_rpa_energy_parallel(dft, config, n_ranks=2,
                                               coulomb=coulomb)
+            energy, converged = par.energy, par.converged
+            n_matvec = par.stats.n_matvec
+        elif backend == "spmd":
+            from repro.parallel import compute_rpa_energy_parallel
+
+            # Same column distribution as the "mpi" cell, executed by real
+            # worker processes over shared memory; the two cells must agree
+            # bitwise, and both sit under the oracle pin.
+            par = compute_rpa_energy_parallel(dft, config, coulomb=coulomb,
+                                              backend="spmd", n_workers=2)
             energy, converged = par.energy, par.converged
             n_matvec = par.stats.n_matvec
         elif backend == "process":

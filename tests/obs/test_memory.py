@@ -1,0 +1,70 @@
+"""Unit tests for peak-RSS accounting (`repro.obs.memory`)."""
+
+import resource as resource_mod
+from collections import namedtuple
+
+import numpy as np
+import pytest
+
+from repro.obs import memory
+
+_Usage = namedtuple("_Usage", ["ru_maxrss"])
+
+
+class TestRuMaxrssNormalization:
+    def test_linux_reports_kib(self, monkeypatch):
+        monkeypatch.setattr(memory.sys, "platform", "linux")
+        assert memory._ru_maxrss_bytes(1024) == 1024 * 1024
+
+    def test_macos_reports_bytes(self, monkeypatch):
+        monkeypatch.setattr(memory.sys, "platform", "darwin")
+        assert memory._ru_maxrss_bytes(1 << 20) == 1 << 20
+
+    def test_linux_peak_above_4gib_not_misread_as_bytes(self, monkeypatch):
+        # The old magnitude heuristic flipped units once the KiB reading
+        # exceeded 2**32, under-reporting a 5 TiB-in-KiB peak by 1024x.
+        monkeypatch.setattr(memory.sys, "platform", "linux")
+        five_tib_in_kib = 5 * (1 << 30)
+        assert memory._ru_maxrss_bytes(five_tib_in_kib) == 5 * (1 << 40)
+
+
+class TestPeakRssAggregation:
+    def _patch_getrusage(self, monkeypatch, self_kib, children_kib):
+        readings = {
+            resource_mod.RUSAGE_SELF: _Usage(ru_maxrss=self_kib),
+            resource_mod.RUSAGE_CHILDREN: _Usage(ru_maxrss=children_kib),
+        }
+        monkeypatch.setattr(memory.sys, "platform", "linux")
+        monkeypatch.setattr(memory.resource, "getrusage",
+                            lambda who: readings[who])
+
+    def test_children_peak_dominates(self, monkeypatch):
+        # Multi-process backends allocate in the workers: RUSAGE_SELF alone
+        # under-reports. The aggregate must see the child high-water mark.
+        self._patch_getrusage(monkeypatch, self_kib=100_000,
+                              children_kib=900_000)
+        assert memory.peak_rss_bytes() == 900_000 * 1024
+
+    def test_parent_peak_dominates(self, monkeypatch):
+        self._patch_getrusage(monkeypatch, self_kib=800_000,
+                              children_kib=50_000)
+        assert memory.peak_rss_bytes() == 800_000 * 1024
+
+    def test_children_excluded_on_request(self, monkeypatch):
+        self._patch_getrusage(monkeypatch, self_kib=100_000,
+                              children_kib=900_000)
+        assert memory.peak_rss_bytes(include_children=False) == 100_000 * 1024
+
+    def test_real_reading_is_plausible(self):
+        peak = memory.peak_rss_bytes()
+        assert peak is not None
+        # A real python process with numpy imported sits well above 10 MB
+        # and (in these tests) well below 1 TB.
+        assert 10 * 1024 * 1024 < peak < 1 << 40
+        _ = np.zeros(1)  # keep the numpy import honest
+
+    def test_sampler_reports_peak(self):
+        with memory.MemorySampler(interval=0.01) as mem:
+            ballast = np.ones(2_000_000)  # ~16 MB resident
+            ballast.sum()
+        assert mem.peak_bytes is not None and mem.peak_bytes > 0

@@ -127,3 +127,86 @@ class TestProcessRecycling:
                 assert np.array_equal(a, b)
         assert (proc.recycler.stats.as_dict()
                 == serial.recycler.stats.as_dict())
+
+
+class TestTaskPayloadSize:
+    """Task args must stay O(metadata): operands travel via shared memory."""
+
+    def _record_submissions(self, op):
+        import pickle
+
+        sizes = []
+        orig = op._submit
+
+        def recording_submit(pool, fn, args):
+            sizes.append(len(pickle.dumps(args)))
+            return orig(pool, fn, args)
+
+        op._submit = recording_submit
+        return sizes
+
+    def test_per_orbital_payload_excludes_grid_arrays(self, toy_dft,
+                                                      toy_coulomb):
+        from repro.solvers.recycle import SolveRecycler
+
+        op = ProcessChi0Operator(
+            toy_dft.hamiltonian, toy_dft.occupied_orbitals,
+            toy_dft.occupied_energies, toy_coulomb,
+            n_workers=2, tol=1e-8, max_iterations=2000,
+            dynamic_block_size=False, recycler=SolveRecycler(width=3))
+        sizes = self._record_submissions(op)
+        rng = np.random.default_rng(31)
+        V = rng.standard_normal((toy_dft.grid.n_points, 3))
+        with op:
+            op.apply_chi0(V, 0.5)  # cold: no guesses shipped
+            op.apply_chi0(V, 0.5)  # warm: every orbital has a guess
+        assert sizes
+        # The old code pickled the full V block (plus, warm, a guess of the
+        # same size) into *every* task; metadata-only descriptors are
+        # hundreds of bytes regardless of grid size.
+        assert max(sizes) < 2048
+        assert max(sizes) < V.nbytes
+
+    def test_batched_payload_excludes_grid_arrays(self, toy_dft, toy_coulomb):
+        op = ProcessChi0Operator(
+            toy_dft.hamiltonian, toy_dft.occupied_orbitals,
+            toy_dft.occupied_energies, toy_coulomb,
+            n_workers=2, tol=1e-8, max_iterations=2000,
+            dynamic_block_size=False, use_batched=True)
+        sizes = self._record_submissions(op)
+        rng = np.random.default_rng(32)
+        V = rng.standard_normal((toy_dft.grid.n_points, 3))
+        with op:
+            op.apply_chi0(V, 0.5)
+        assert sizes and max(sizes) < 2048
+
+
+class TestPoolLifecycle:
+    """A failed apply must shut its pool down, not leak live workers."""
+
+    def test_task_exception_closes_pool(self, toy_dft, toy_coulomb):
+        op = ProcessChi0Operator(
+            toy_dft.hamiltonian, toy_dft.occupied_orbitals,
+            toy_dft.occupied_energies, toy_coulomb,
+            n_workers=2, tol=1e-6, fault_hook=_raise_injected_fault)
+        with pytest.raises(RuntimeError, match="injected task fault"):
+            op.apply_chi0(
+                np.random.default_rng(33).standard_normal(
+                    (toy_dft.grid.n_points, 2)), 0.5)
+        assert op._pool is None
+
+    def test_task_exception_closes_pool_batched(self, toy_dft, toy_coulomb):
+        op = ProcessChi0Operator(
+            toy_dft.hamiltonian, toy_dft.occupied_orbitals,
+            toy_dft.occupied_energies, toy_coulomb,
+            n_workers=2, tol=1e-6, use_batched=True,
+            fault_hook=_raise_injected_fault)
+        with pytest.raises(RuntimeError, match="injected task fault"):
+            op.apply_chi0(
+                np.random.default_rng(34).standard_normal(
+                    (toy_dft.grid.n_points, 2)), 0.5)
+        assert op._pool is None
+
+
+def _raise_injected_fault(j):  # pragma: no cover - runs in the worker
+    raise RuntimeError("injected task fault")
